@@ -1,0 +1,164 @@
+(* Benchmark & reproduction harness.
+
+   Running `dune exec bench/main.exe` produces two things:
+
+   1. The full figure-reproduction pass: one table per figure of the
+      paper's evaluation section (Figures 6-19) plus the worked examples
+      (Sections 3.4 and 7) and the extension studies.  These are the
+      numbers recorded in EXPERIMENTS.md.
+
+   2. A bechamel section timing the computational kernel behind each
+      figure (one Test.make per figure): HEEB scoring steps, FlowExpect's
+      per-step min-cost flow, the OPT-offline solve, precomputation DPs
+      and the bicubic surface lookup.
+
+   Scale can be tuned through SSJ_BENCH_RUNS / SSJ_BENCH_LEN to reach the
+   paper's 50 x 5000 (defaults keep the full pass at a few minutes). *)
+
+open Bechamel
+open Toolkit
+open Ssj_prob
+open Ssj_model
+open Ssj_stream
+open Ssj_core
+open Ssj_engine
+open Ssj_workload
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some v -> (try int_of_string v with _ -> default)
+  | None -> default
+
+let opts =
+  {
+    Experiments.default with
+    Experiments.runs = env_int "SSJ_BENCH_RUNS" Experiments.default.Experiments.runs;
+    length = env_int "SSJ_BENCH_LEN" Experiments.default.Experiments.length;
+  }
+
+(* --- bechamel micro-benchmarks -------------------------------------- *)
+
+let tower = Config.tower ()
+
+let tower_trace length seed =
+  let r, s = Config.predictors tower in
+  Trace.generate ~r ~s ~rng:(Rng.create seed) ~length
+
+let bench_fig6_kernel () =
+  (* One walk-caching DP (the Figure 6 precomputation). *)
+  let step = Dist.discretized_normal ~sigma:1.0 ~bound:5 in
+  Staged.stage (fun () ->
+      ignore
+        (Precompute.walk_caching_curve ~step ~drift:2
+           ~l:(Lfun.exp_ ~alpha:10.0) ~lo:(-10) ~hi:10 ~horizon:128 ()))
+
+let bench_sim policy_of length =
+  let trace = tower_trace length 7 in
+  Staged.stage (fun () ->
+      ignore (Join_sim.run ~trace ~policy:(policy_of ()) ~capacity:10 ()))
+
+let bench_fig13_kernel () =
+  let reference =
+    Real.to_bins (Real.synthetic_ar1 ~rng:(Rng.create 3) ~days:365 ())
+  in
+  let fitted = Fit.ar1_of_ints reference in
+  let heeb = Factory.real_heeb ~params:fitted ~capacity:20 in
+  Staged.stage (fun () ->
+      ignore (Cache_sim.run ~reference ~policy:(heeb ()) ~capacity:20 ()))
+
+let bench_fig15_kernel () =
+  let fitted = Real.bin_params Real.paper_params in
+  let lo, hi = Factory.real_surface_bounds fitted in
+  let surface =
+    Precompute.ar1_caching_surface fitted ~l:(Lfun.exp_ ~alpha:50.0) ~vx_lo:lo
+      ~vx_hi:hi ~x0_lo:lo ~x0_hi:hi ~nv:5 ~nx:5 ~horizon:256 ()
+  in
+  let x = ref 0.0 in
+  Staged.stage (fun () ->
+      x := !x +. Interp.Surface.eval surface 180.0 220.0)
+
+let bench_fig19_kernel lookahead =
+  (* One FlowExpect decision: graph build + min-cost-flow solve. *)
+  let r, s = Config.predictors (Config.floor ()) in
+  let r = Predictor.advance r [| 0 |] and s = Predictor.advance s [| 1 |] in
+  let cached =
+    List.init 10 (fun i -> Tuple.make ~side:Tuple.S ~value:i ~arrival:(-i - 1))
+  in
+  let arrivals =
+    [ Tuple.make ~side:Tuple.R ~value:0 ~arrival:0;
+      Tuple.make ~side:Tuple.S ~value:1 ~arrival:0 ]
+  in
+  Staged.stage (fun () ->
+      ignore
+        (Flow_expect.decide ~r ~s ~lookahead ~now:0 ~cached ~arrivals
+           ~capacity:10 ()))
+
+let bench_opt_offline () =
+  let trace = tower_trace 500 9 in
+  Staged.stage (fun () ->
+      ignore (Opt_offline.max_results ~trace ~capacity:10 ()))
+
+let micro_tests =
+  Test.make_grouped ~name:"kernels"
+    [
+      Test.make ~name:"fig6:walk-caching-DP" (bench_fig6_kernel ());
+      Test.make ~name:"fig8:HEEB-500-steps"
+        (bench_sim (Factory.trend_heeb tower) 500);
+      Test.make ~name:"fig8:PROB-500-steps"
+        (bench_sim
+           (fun () -> Baselines.prob ~lifetime:(Config.lifetime tower) ())
+           500);
+      Test.make ~name:"fig9-12:HEEB-cap20-500-steps"
+        (let trace = tower_trace 500 8 in
+         Staged.stage (fun () ->
+             ignore
+               (Join_sim.run ~trace
+                  ~policy:(Factory.trend_heeb tower ())
+                  ~capacity:20 ())));
+      Test.make ~name:"fig13:HEEB-h2-365-days" (bench_fig13_kernel ());
+      Test.make ~name:"fig15:bicubic-eval" (bench_fig15_kernel ());
+      Test.make ~name:"fig19:flowexpect-step-l5" (bench_fig19_kernel 5);
+      Test.make ~name:"fig19:flowexpect-step-l20" (bench_fig19_kernel 20);
+      Test.make ~name:"opt-offline:mcmf-500-steps" (bench_opt_offline ());
+    ]
+
+let run_micro () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw_results = Benchmark.all cfg instances micro_tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  let results = Analyze.merge ols instances results in
+  Format.printf "@.== bechamel kernels (time per run) ==@.";
+  Hashtbl.iter
+    (fun _label per_instance ->
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] ->
+            let human =
+              if est > 1e6 then Printf.sprintf "%.3f ms" (est /. 1e6)
+              else if est > 1e3 then Printf.sprintf "%.3f us" (est /. 1e3)
+              else Printf.sprintf "%.1f ns" est
+            in
+            Format.printf "  %-34s %s@." name human
+          | Some _ | None -> Format.printf "  %-34s (no estimate)@." name)
+        per_instance)
+    results
+
+let () =
+  Format.printf
+    "=== ssj bench: reproduction of 'On Joining and Caching Stochastic \
+     Streams' ===@.";
+  Format.printf "scale: %d runs x %d tuples (paper: 50 x 5000); override \
+                 with SSJ_BENCH_RUNS / SSJ_BENCH_LEN.@."
+    opts.Experiments.runs opts.Experiments.length;
+  Experiments.all opts;
+  run_micro ();
+  Format.printf "@.done.@."

@@ -1,0 +1,200 @@
+(* sjoin — CLI driver for the paper-reproduction experiments.
+
+   Usage examples:
+     sjoin fig8                      # Figure 8 at default scale
+     sjoin fig9 --runs 50 --len 5000 # paper scale
+     sjoin all                       # everything (EXPERIMENTS.md source)
+*)
+
+open Cmdliner
+open Ssj_workload
+
+let opts_term =
+  let runs =
+    Arg.(value & opt int Experiments.default.Experiments.runs
+         & info [ "runs" ] ~doc:"Independent runs per configuration.")
+  in
+  let length =
+    Arg.(value & opt int Experiments.default.Experiments.length
+         & info [ "len" ] ~doc:"Stream length (tuples per stream).")
+  in
+  let seed =
+    Arg.(value & opt int Experiments.default.Experiments.seed
+         & info [ "seed" ] ~doc:"Base random seed.")
+  in
+  let capacity =
+    Arg.(value & opt int Experiments.default.Experiments.capacity
+         & info [ "cache" ] ~doc:"Cache size for fixed-size comparisons.")
+  in
+  let fe_runs =
+    Arg.(value & opt int Experiments.default.Experiments.fe_runs
+         & info [ "fe-runs" ] ~doc:"Runs for FlowExpect blocks.")
+  in
+  let fe_length =
+    Arg.(value & opt int Experiments.default.Experiments.fe_length
+         & info [ "fe-len" ] ~doc:"Stream length for FlowExpect blocks.")
+  in
+  let fe_lookahead =
+    Arg.(value & opt int Experiments.default.Experiments.fe_lookahead
+         & info [ "fe-lookahead" ] ~doc:"FlowExpect look-ahead distance.")
+  in
+  let build runs length seed capacity fe_runs fe_length fe_lookahead =
+    {
+      Experiments.default with
+      Experiments.runs;
+      length;
+      seed;
+      capacity;
+      fe_runs;
+      fe_length;
+      fe_lookahead;
+    }
+  in
+  Term.(
+    const build $ runs $ length $ seed $ capacity $ fe_runs $ fe_length
+    $ fe_lookahead)
+
+let figure_cmd name doc run =
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ opts_term)
+
+let unit_cmd name doc run =
+  Cmd.v (Cmd.info name ~doc) Term.(const (fun (_ : Experiments.opts) -> run ()) $ opts_term)
+
+(* --- trace tooling ---------------------------------------------------- *)
+
+let config_conv =
+  let parse = function
+    | "tower" -> Ok `Tower
+    | "roof" -> Ok `Roof
+    | "floor" -> Ok `Floor
+    | "walk" -> Ok `Walk
+    | s -> Error (`Msg (Printf.sprintf "unknown config %S" s))
+  in
+  let print ppf c =
+    Format.pp_print_string ppf
+      (match c with
+      | `Tower -> "tower"
+      | `Roof -> "roof"
+      | `Floor -> "floor"
+      | `Walk -> "walk")
+  in
+  Arg.conv (parse, print)
+
+let predictors_of = function
+  | `Tower -> Config.predictors (Config.tower ())
+  | `Roof -> Config.predictors (Config.roof ())
+  | `Floor -> Config.predictors (Config.floor ())
+  | `Walk -> Config.walk_predictors (Config.walk ())
+
+let dump_trace_cmd =
+  let run config length seed out =
+    let r, s = predictors_of config in
+    let trace =
+      Ssj_stream.Trace.generate ~r ~s
+        ~rng:(Ssj_prob.Rng.create seed)
+        ~length
+    in
+    match out with
+    | Some filename ->
+      Ssj_stream.Trace_io.save trace ~filename;
+      Format.printf "wrote %d steps to %s@." length filename
+    | None -> Ssj_stream.Trace_io.to_channel trace stdout
+  in
+  let config =
+    Arg.(value & opt config_conv `Tower & info [ "config" ] ~doc:"Workload.")
+  in
+  let length = Arg.(value & opt int 1000 & info [ "len" ] ~doc:"Steps.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Seed.") in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "dump-trace" ~doc:"Sample a workload trace and emit it as CSV.")
+    Term.(const run $ config $ length $ seed $ out)
+
+let run_trace_cmd =
+  let run filename capacity =
+    let trace = Ssj_stream.Trace_io.load ~filename in
+    let open Ssj_core in
+    let open Ssj_engine in
+    let policies =
+      [
+        ("RAND", Baselines.rand ~rng:(Ssj_prob.Rng.create 1) ());
+        ("PROB", Baselines.prob ());
+      ]
+    in
+    Format.printf "replaying %s (%d steps) with cache %d:@." filename
+      (Ssj_stream.Trace.length trace)
+      capacity;
+    Format.printf "  OPT-OFFLINE  %d@."
+      (Opt_offline.max_results ~trace ~capacity ());
+    List.iter
+      (fun (label, policy) ->
+        let result = Join_sim.run ~trace ~policy ~capacity () in
+        Format.printf "  %-12s %d@." label result.Join_sim.total_results)
+      policies
+  in
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE.csv")
+  in
+  let capacity = Arg.(value & opt int 10 & info [ "cache" ] ~doc:"Cache size.") in
+  Cmd.v
+    (Cmd.info "run-trace"
+       ~doc:"Replay an archived trace under RAND/PROB and the offline optimum.")
+    Term.(const run $ file $ capacity)
+
+let cmds =
+  [
+    dump_trace_cmd;
+    run_trace_cmd;
+    unit_cmd "example-3-4" "Section 3.4 FlowExpect-suboptimality scenario."
+      (fun () -> Experiments.example_3_4 ());
+    unit_cmd "example-7" "Section 7 sliding-window example (x1/x2/x3)."
+      (fun () -> Experiments.example_7 ());
+    figure_cmd "fig6" "Precomputed h_R curves for random-walk caching."
+      (fun o -> Experiments.fig6 o);
+    unit_cmd "fig7" "TOWER/ROOF/FLOOR noise pmfs." (fun () ->
+        Experiments.fig7 ());
+    figure_cmd "fig8" "Join counts across configurations, fixed cache."
+      (fun o -> Experiments.fig8 o);
+    figure_cmd "fig9" "TOWER cache-size sweep." (fun o -> Experiments.fig9 o);
+    figure_cmd "fig10" "ROOF cache-size sweep." (fun o -> Experiments.fig10 o);
+    figure_cmd "fig11" "FLOOR cache-size sweep." (fun o -> Experiments.fig11 o);
+    figure_cmd "fig12" "WALK cache-size sweep." (fun o -> Experiments.fig12 o);
+    figure_cmd "fig13" "REAL caching misses vs memory size." (fun o ->
+        Experiments.fig13 o);
+    figure_cmd "fig14" "Cache share between streams under HEEB." (fun o ->
+        Experiments.fig14 o);
+    figure_cmd "fig15" "Exact vs bicubic h2 surface (Figures 15/16)."
+      (fun o -> Experiments.fig15 o);
+    figure_cmd "fig17" "Cache share vs variance ratio." (fun o ->
+        Experiments.fig17 o);
+    figure_cmd "fig18" "Cache share vs lag." (fun o -> Experiments.fig18 o);
+    figure_cmd "fig19" "FlowExpect look-ahead sweep." (fun o ->
+        Experiments.fig19 o);
+    figure_cmd "window" "Extension: sliding-window join shootout." (fun o ->
+        Experiments.window_extension o);
+    figure_cmd "band" "Extension: band-join semantics." (fun o ->
+        Experiments.band_extension o);
+    figure_cmd "multi" "Extension: multiple join queries over 3 streams."
+      (fun o -> Experiments.multi_extension o);
+    figure_cmd "robustness" "Extension: HEEB under model misspecification."
+      (fun o -> Experiments.robustness o);
+    figure_cmd "adversarial" "Extension: empirical competitive-ratio estimates."
+      (fun o -> Experiments.adversarial o);
+    figure_cmd "ablation" "Extension: HEEB L-function ablation." (fun o ->
+        Experiments.ablation_lfun o);
+    figure_cmd "all" "Run every figure and example." (fun o ->
+        Experiments.all o);
+  ]
+
+let () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Warning);
+  let info =
+    Cmd.info "sjoin" ~version:"1.0.0"
+      ~doc:
+        "Reproduction of 'On Joining and Caching Stochastic Streams' \
+         (Xie, Yang, Chen)."
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

@@ -1,0 +1,1 @@
+examples/network_monitor.ml: Array Dist Format Lfun Linear_trend List Multi Predictor Rng Ssj_core Ssj_model Ssj_multi Ssj_prob

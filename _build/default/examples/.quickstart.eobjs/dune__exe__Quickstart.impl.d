@@ -1,0 +1,1 @@
+examples/quickstart.ml: Baselines Dist Format Heeb Join_sim Lfun Linear_trend Opt_offline Rng Ssj_core Ssj_engine Ssj_model Ssj_prob Ssj_stream Trace

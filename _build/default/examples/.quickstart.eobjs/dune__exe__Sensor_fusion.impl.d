@@ -1,0 +1,1 @@
+examples/sensor_fusion.ml: Array Baselines Dist Format Heeb Lfun Linear_trend List Rng Runner Ssj_core Ssj_engine Ssj_model Ssj_prob Ssj_stream Table Trace Tuple

@@ -1,0 +1,1 @@
+examples/sliding_window.ml: Array Baselines Float Format Lfun List Pmf Rng Runner Sliding Ssj_core Ssj_engine Ssj_model Ssj_prob Ssj_stream Stationary Table Trace Window

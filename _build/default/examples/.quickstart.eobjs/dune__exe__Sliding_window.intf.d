@@ -1,0 +1,1 @@
+examples/sliding_window.mli:

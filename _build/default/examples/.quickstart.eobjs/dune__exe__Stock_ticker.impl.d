@@ -1,0 +1,1 @@
+examples/stock_ticker.ml: Array Baselines Dist Format Heeb Interp Lfun List Precompute Random_walk Rng Runner Ssj_core Ssj_engine Ssj_model Ssj_prob Ssj_stream Table Trace

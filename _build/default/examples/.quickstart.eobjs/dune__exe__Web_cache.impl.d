@@ -1,0 +1,1 @@
+examples/web_cache.ml: Ar1 Array Cache_sim Classic Factory Fit Format List Printf Real Rng Ssj_core Ssj_engine Ssj_model Ssj_prob Ssj_workload Table

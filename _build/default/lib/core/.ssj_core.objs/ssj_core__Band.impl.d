@@ -1,0 +1,1 @@
+lib/core/band.ml: Array Lfun List Policy Predictor Printf Ssj_model Ssj_prob Ssj_stream Tuple

@@ -1,0 +1,1 @@
+lib/core/band.mli: Ecb Lfun Policy Ssj_model Ssj_prob

@@ -1,0 +1,1 @@
+lib/core/baselines.ml: Float Hashtbl List Option Policy Ssj_prob Ssj_stream Tuple

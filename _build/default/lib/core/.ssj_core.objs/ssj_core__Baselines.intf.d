@@ -1,0 +1,1 @@
+lib/core/baselines.mli: Policy Ssj_prob Ssj_stream

@@ -1,0 +1,1 @@
+lib/core/case_studies.ml: Array Float Int List Ssj_stream Tuple

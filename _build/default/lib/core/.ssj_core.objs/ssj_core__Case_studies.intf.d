@@ -1,0 +1,1 @@
+lib/core/case_studies.mli: Ecb Ssj_stream

@@ -1,0 +1,1 @@
+lib/core/classic.ml: Array Float Hashtbl List Option Policy Printf Ssj_prob

@@ -1,0 +1,1 @@
+lib/core/classic.mli: Policy Ssj_prob

@@ -1,0 +1,1 @@
+lib/core/dominance.ml: Array Float

@@ -1,0 +1,1 @@
+lib/core/ecb.ml: Array Markov Predictor Ssj_model

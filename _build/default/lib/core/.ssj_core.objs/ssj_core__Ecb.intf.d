@@ -1,0 +1,1 @@
+lib/core/ecb.mli: Ssj_model

@@ -1,0 +1,1 @@
+lib/core/expectimax.ml: Float List Ssj_stream Tuple

@@ -1,0 +1,1 @@
+lib/core/expectimax.mli: Ssj_stream

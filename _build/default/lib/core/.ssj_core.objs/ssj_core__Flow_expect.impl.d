@@ -1,0 +1,1 @@
+lib/core/flow_expect.ml: Array List Mcmf Policy Predictor Printf Scaling Ssj_flow Ssj_model Ssj_prob Ssj_stream Tuple

@@ -1,0 +1,1 @@
+lib/core/flow_expect.mli: Policy Ssj_model Ssj_stream

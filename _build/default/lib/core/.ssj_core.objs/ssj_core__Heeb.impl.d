@@ -1,0 +1,1 @@
+lib/core/heeb.ml: Float Hashtbl Hvalue Int Interp Lfun List Logs Markov Option Policy Predictor Printf Ssj_model Ssj_prob Ssj_stream Tuple

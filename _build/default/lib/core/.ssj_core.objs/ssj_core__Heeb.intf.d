@@ -1,0 +1,1 @@
+lib/core/heeb.mli: Interp Lfun Policy Ssj_model

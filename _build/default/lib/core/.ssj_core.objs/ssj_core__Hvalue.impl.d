@@ -1,0 +1,1 @@
+lib/core/hvalue.ml: Array Lfun Markov Predictor Printf Ssj_model

@@ -1,0 +1,1 @@
+lib/core/hvalue.mli: Lfun Ssj_model

@@ -1,0 +1,1 @@
+lib/core/interp.ml: Array Float Fun List Printf Scanf String

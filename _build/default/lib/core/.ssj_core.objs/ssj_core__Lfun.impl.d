@@ -1,0 +1,1 @@
+lib/core/lfun.ml: Printf

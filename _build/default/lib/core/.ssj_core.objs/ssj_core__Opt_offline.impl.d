@@ -1,0 +1,1 @@
+lib/core/opt_offline.ml: Array Classic Float Hashtbl Int List Mcmf Option Policy Ssj_flow Ssj_stream Trace

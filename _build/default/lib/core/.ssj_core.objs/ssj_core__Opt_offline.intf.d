@@ -1,0 +1,1 @@
+lib/core/opt_offline.mli: Ssj_stream

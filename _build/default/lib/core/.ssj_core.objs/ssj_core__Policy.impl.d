@@ -1,0 +1,1 @@
+lib/core/policy.ml: Float Int List Printf Ssj_stream Tuple

@@ -1,0 +1,1 @@
+lib/core/precompute.ml: Ar1 Array Convolve Float Interp Lfun Markov Pmf Special Ssj_model Ssj_prob

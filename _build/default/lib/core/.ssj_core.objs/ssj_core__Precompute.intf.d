@@ -1,0 +1,1 @@
+lib/core/precompute.mli: Interp Lfun Ssj_model Ssj_prob

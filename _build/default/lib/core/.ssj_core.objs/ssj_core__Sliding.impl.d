@@ -1,0 +1,1 @@
+lib/core/sliding.ml: Float Hvalue Lfun List Policy Predictor Printf Ssj_model Ssj_stream Tuple Window

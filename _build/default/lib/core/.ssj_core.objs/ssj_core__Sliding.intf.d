@@ -1,0 +1,1 @@
+lib/core/sliding.mli: Policy Ssj_model Ssj_stream

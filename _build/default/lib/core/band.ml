@@ -1,0 +1,61 @@
+open Ssj_stream
+open Ssj_model
+
+let match_prob pmf ~value ~band =
+  if band < 0 then invalid_arg "Band.match_prob: negative band";
+  Ssj_prob.Pmf.interval_prob pmf ~lo:(value - band) ~hi:(value + band)
+
+let ecb ~partner ~value ~band ~horizon =
+  if horizon < 1 then invalid_arg "Band.ecb: horizon < 1";
+  let b = Array.make horizon 0.0 in
+  let acc = ref 0.0 in
+  for d = 1 to horizon do
+    acc := !acc +. match_prob (partner.Predictor.pmf d) ~value ~band;
+    b.(d - 1) <- !acc
+  done;
+  b
+
+let hvalue ~partner ~l ~value ~band =
+  if l.Lfun.horizon >= max_int / 8 then
+    invalid_arg "Band.hvalue: L has no finite horizon";
+  let acc = ref 0.0 in
+  for d = 1 to l.Lfun.horizon do
+    let w = l.Lfun.l d in
+    if w > 0.0 then
+      acc := !acc +. (match_prob (partner.Predictor.pmf d) ~value ~band *. w)
+  done;
+  !acc
+
+let heeb ?name ~r ~s ~l ~band () =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "HEEB-band(%d)" band
+  in
+  let r_pred = ref r and s_pred = ref s in
+  let select ~now:_ ~cached ~arrivals ~capacity =
+    List.iter
+      (fun (t : Tuple.t) ->
+        match t.Tuple.side with
+        | Tuple.R -> r_pred := !r_pred.Predictor.observe t.Tuple.value
+        | Tuple.S -> s_pred := !s_pred.Predictor.observe t.Tuple.value)
+      arrivals;
+    let score (t : Tuple.t) =
+      let partner =
+        match t.Tuple.side with Tuple.R -> !s_pred | Tuple.S -> !r_pred
+      in
+      hvalue ~partner ~l ~value:t.Tuple.value ~band
+    in
+    Policy.keep_top ~capacity ~score ~tie:Policy.newer_first (cached @ arrivals)
+  in
+  { Policy.name; select }
+
+let prob_model ~r_dist ~s_dist ~band () =
+  let score (t : Tuple.t) =
+    let partner = match t.Tuple.side with Tuple.R -> s_dist | Tuple.S -> r_dist in
+    match_prob partner ~value:t.Tuple.value ~band
+  in
+  let select ~now:_ ~cached ~arrivals ~capacity =
+    Policy.keep_top ~capacity ~score ~tie:Policy.newer_first (cached @ arrivals)
+  in
+  { Policy.name = Printf.sprintf "PROB-band(%d)" band; select }

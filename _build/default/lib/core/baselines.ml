@@ -1,0 +1,75 @@
+open Ssj_stream
+
+type lifetime = now:int -> Tuple.t -> int
+
+(* History frequency tracker: counts of each value seen per side. *)
+module History = struct
+  type t = {
+    r_counts : (int, int) Hashtbl.t;
+    s_counts : (int, int) Hashtbl.t;
+  }
+
+  let create () = { r_counts = Hashtbl.create 64; s_counts = Hashtbl.create 64 }
+
+  let table t = function
+    | Tuple.R -> t.r_counts
+    | Tuple.S -> t.s_counts
+
+  let observe t (tuple : Tuple.t) =
+    let tbl = table t tuple.side in
+    let c = Option.value ~default:0 (Hashtbl.find_opt tbl tuple.value) in
+    Hashtbl.replace tbl tuple.value (c + 1)
+
+  (* Frequency of the tuple's value in the *partner* stream's history. *)
+  let partner_count t (tuple : Tuple.t) =
+    let tbl = table t (Tuple.partner tuple.side) in
+    Option.value ~default:0 (Hashtbl.find_opt tbl tuple.value)
+end
+
+(* Give dead tuples (lifetime <= 0) a score below every live tuple. *)
+let with_liveness ?lifetime ~now score t =
+  match lifetime with
+  | Some l when l ~now t <= 0 -> Float.neg_infinity
+  | Some _ | None -> score t
+
+let rand ~rng ?lifetime () =
+  let select ~now ~cached ~arrivals ~capacity =
+    let score t =
+      with_liveness ?lifetime ~now (fun _ -> Ssj_prob.Rng.float rng 1.0) t
+    in
+    Policy.keep_top ~capacity ~score ~tie:Policy.newer_first (cached @ arrivals)
+  in
+  { Policy.name = "RAND"; select }
+
+let prob ?lifetime () =
+  let history = History.create () in
+  let select ~now ~cached ~arrivals ~capacity =
+    List.iter (History.observe history) arrivals;
+    let score t =
+      with_liveness ?lifetime ~now
+        (fun t -> float_of_int (History.partner_count history t))
+        t
+    in
+    Policy.keep_top ~capacity ~score ~tie:Policy.newer_first (cached @ arrivals)
+  in
+  { Policy.name = "PROB"; select }
+
+let life ~lifetime () =
+  let history = History.create () in
+  let select ~now ~cached ~arrivals ~capacity =
+    List.iter (History.observe history) arrivals;
+    let score t =
+      let remaining = lifetime ~now t in
+      if remaining <= 0 then Float.neg_infinity
+      else float_of_int (History.partner_count history t) *. float_of_int remaining
+    in
+    Policy.keep_top ~capacity ~score ~tie:Policy.newer_first (cached @ arrivals)
+  in
+  { Policy.name = "LIFE"; select }
+
+let prob_model ~partner_prob () =
+  let select ~now:_ ~cached ~arrivals ~capacity =
+    Policy.keep_top ~capacity ~score:partner_prob ~tie:Policy.newer_first
+      (cached @ arrivals)
+  in
+  { Policy.name = "PROB-model"; select }

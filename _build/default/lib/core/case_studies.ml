@@ -1,0 +1,80 @@
+open Ssj_stream
+
+let stationary_joining_ecb ~p ~horizon =
+  if horizon < 1 then invalid_arg "Case_studies: horizon < 1";
+  Array.init horizon (fun i -> p *. float_of_int (i + 1))
+
+let stationary_caching_ecb ~p ~horizon =
+  if horizon < 1 then invalid_arg "Case_studies: horizon < 1";
+  Array.init horizon (fun i -> 1.0 -. ((1.0 -. p) ** float_of_int (i + 1)))
+
+type category = R1 | R2 | S1 | S2 | S3
+
+let categorize ~wr ~ws ~now ~side ~value =
+  match side with
+  | Tuple.R -> if value <= now - ws then R1 else R2
+  | Tuple.S ->
+    if value <= now - wr then S1
+    else if value <= now + wr + 1 then S2
+    else S3
+
+let floor_joining_ecb ~wr ~ws ~now ~side ~value ~horizon =
+  if wr >= ws then invalid_arg "Case_studies.floor_joining_ecb: needs wR < wS";
+  if horizon < 1 then invalid_arg "Case_studies: horizon < 1";
+  let b = Array.make horizon 0.0 in
+  (match categorize ~wr ~ws ~now ~side ~value with
+  | R1 | S1 -> ()
+  | R2 ->
+    (* Joins S arrivals at rate 1/(2wS+1) until the S window passes at
+       Δt = v − (t0 − wS). *)
+    let rate = 1.0 /. float_of_int ((2 * ws) + 1) in
+    let stop = value - (now - ws) in
+    for d = 1 to horizon do
+      b.(d - 1) <- rate *. float_of_int (min d stop)
+    done
+  | S2 ->
+    let rate = 1.0 /. float_of_int ((2 * wr) + 1) in
+    let stop = value - (now - wr) in
+    for d = 1 to horizon do
+      b.(d - 1) <- rate *. float_of_int (min d stop)
+    done
+  | S3 ->
+    (* Appendix O: zero until the R window reaches the value at
+       Δt = v − (t0 + wR), then rate 1/(2wR+1) until it passes at
+       Δt = v − (t0 − wR), capping at 1. *)
+    let rate = 1.0 /. float_of_int ((2 * wr) + 1) in
+    let first = value - (now + wr) in
+    for d = 1 to horizon do
+      if d < first then b.(d - 1) <- 0.0
+      else b.(d - 1) <- Float.min 1.0 (rate *. float_of_int (d - first + 1))
+    done);
+  b
+
+let floor_caching_ecb ~w ~now ~value ~horizon =
+  if horizon < 1 then invalid_arg "Case_studies: horizon < 1";
+  let miss_rate = 1.0 -. (1.0 /. float_of_int ((2 * w) + 1)) in
+  (* The window [f(t) − w, f(t) + w] with f(t) = t covers [value] while
+     t <= value + w; the last counted reference time is value + w. *)
+  let last = value + w - now in
+  Array.init horizon (fun i ->
+      let d = i + 1 in
+      let effective = min d (max 0 last) in
+      1.0 -. (miss_rate ** float_of_int effective))
+
+let floor_caching_optimal_discard ~values =
+  match values with
+  | [] -> invalid_arg "Case_studies.floor_caching_optimal_discard: empty"
+  | v :: rest -> List.fold_left min v rest
+
+let normal_trend_dominates ~s_mean ~vx ~vy =
+  float_of_int vy <= s_mean
+  && float_of_int vx <= s_mean
+  && s_mean -. float_of_int vy > s_mean -. float_of_int vx
+
+let walk_zero_drift_rank ~x0 ~values =
+  List.sort
+    (fun a b ->
+      match Int.compare (abs (a - x0)) (abs (b - x0)) with
+      | 0 -> Int.compare a b
+      | c -> c)
+    values

@@ -1,0 +1,63 @@
+(** Closed-form ECBs and optimal-decision rules for the paper's Section 5
+    case studies (with the Appendix O formulas).
+
+    These are the analytical results the paper derives by hand; the test
+    suite checks each of them against the generic numeric machinery
+    ({!Ecb}, {!Dominance}), which is exactly the consistency argument the
+    paper makes for its framework. *)
+
+(** {2 Section 5.2 — stationary independent streams} *)
+
+val stationary_joining_ecb : p:float -> horizon:int -> Ecb.t
+(** [B_x(Δt) = p·Δt] where [p] is the partner-match probability. *)
+
+val stationary_caching_ecb : p:float -> horizon:int -> Ecb.t
+(** [B_x(Δt) = 1 − (1 − p)^Δt]. *)
+
+(** {2 Section 5.3 — identical linear trends, bounded uniform noise}
+
+    Both streams follow [f(t) = t]; noise is uniform on [\[−w_R, w_R\]]
+    and [\[−w_S, w_S\]] with [w_R < w_S].  Candidate tuples fall into the
+    five categories of the paper, with the Appendix O piecewise ECBs. *)
+
+type category = R1 | R2 | S1 | S2 | S3
+
+val categorize :
+  wr:int -> ws:int -> now:int -> side:Ssj_stream.Tuple.side -> value:int -> category
+(** Category of a candidate at current time [now] (Section 5.3's value
+    ranges; values beyond the S window cannot occur without prefetching
+    and are clamped into the adjacent category). *)
+
+val floor_joining_ecb :
+  wr:int ->
+  ws:int ->
+  now:int ->
+  side:Ssj_stream.Tuple.side ->
+  value:int ->
+  horizon:int ->
+  Ecb.t
+(** The Appendix O closed forms, all five categories. *)
+
+val floor_caching_ecb : w:int -> now:int -> value:int -> horizon:int -> Ecb.t
+(** Section 5.3 caching: with reference trend [f(t) = t] and uniform
+    noise on [\[−w, w\]], a cached database tuple's ECB is
+    [1 − (1 − 1/(2w+1))^min(Δt, t_x − t0 − 1)] where [t_x] is the time the
+    window moves past the value (0 once it already has). *)
+
+val floor_caching_optimal_discard : values:int list -> int
+(** The Section 5.3 rule proved optimal by Theorem 3: discard the cached
+    database tuple with the smallest join-attribute value. *)
+
+(** {2 Section 5.4 — linear trend, bounded normal noise} *)
+
+val normal_trend_dominates :
+  s_mean:float -> vx:int -> vy:int -> bool
+(** Appendix P: with both values at or left of the partner trend's current
+    mean, the one closer to the mean strongly dominates. *)
+
+(** {2 Section 5.5 — random walk} *)
+
+val walk_zero_drift_rank : x0:int -> values:int list -> int list
+(** Zero drift + symmetric unimodal steps: candidates ranked by distance
+    from the last observed partner value (closest first) — the total
+    order Theorem 3 turns into the optimal policy. *)

@@ -1,0 +1,36 @@
+(** ECB dominance tests — Section 4.2 (Theorem 3, Corollary 2).
+
+    [B_x] *dominates* [B_y] when [B_x(Δt) ≥ B_y(Δt)] for every [Δt ≥ 1];
+    strictly for strong dominance.  When dominance holds, keeping [x]
+    (equivalently discarding [y]) is consistent with an optimal algorithm,
+    so dominance tests give provably-correct replacement decisions without
+    any heuristic.  ECBs are compared over their materialised horizon. *)
+
+type verdict =
+  | Left_dominates  (** x dominates y (and they are not pointwise equal) *)
+  | Right_dominates
+  | Equal
+  | Incomparable
+
+val compare : ?eps:float -> Ecb.t -> Ecb.t -> verdict
+(** Arrays must have equal length; [eps] (default 1e-12) absorbs float
+    noise. *)
+
+val dominates : ?eps:float -> Ecb.t -> Ecb.t -> bool
+(** [dominates a b]: [a(Δt) ≥ b(Δt)] everywhere (includes equality). *)
+
+val strongly_dominates : ?eps:float -> Ecb.t -> Ecb.t -> bool
+(** Strict inequality everywhere. *)
+
+val dominated_subset : ?eps:float -> ('a * Ecb.t) array -> count:int -> 'a list option
+(** Corollary 2: find a subset [V] of exactly [count] candidates such that
+    every candidate outside [V] dominates every member of [V] — if one
+    exists, discarding [V] is optimal.  Greedy check in O(n²·horizon):
+    candidates are sorted by total ECB mass and the weakest [count] are
+    verified against the rest. Returns the payloads of [V]. *)
+
+val total_order : ?eps:float -> ('a * Ecb.t) array -> 'a array option
+(** If dominance happens to induce a total (pre)order on the candidates,
+    return them sorted from most- to least-dominant; [None] if any pair is
+    incomparable.  Used by the case-study scenarios where the paper proves
+    a total order exists (offline, stationary, zero-drift walk). *)

@@ -1,0 +1,115 @@
+open Ssj_stream
+
+type arrival = int option * int option
+type step = (float * arrival) list
+
+(* Cached entry: side and value ([None] = a "−" tuple that joins nothing). *)
+type entry = Tuple.side * int option
+
+let match_count (cache : entry list) ((r, s) : arrival) =
+  List.fold_left
+    (fun acc (side, v) ->
+      match (side, v) with
+      | Tuple.S, Some v when r = Some v -> acc + 1
+      | Tuple.R, Some v when s = Some v -> acc + 1
+      | (Tuple.R | Tuple.S), _ -> acc)
+    0 cache
+
+(* All subsets of [items] with exactly [size] elements (or all of [items]
+   when fewer are available). *)
+let rec combinations items size =
+  if size <= 0 then [ [] ]
+  else begin
+    match items with
+    | [] -> [ [] ]
+    | x :: rest ->
+      let with_x =
+        List.map (fun c -> x :: c) (combinations rest (size - 1))
+      in
+      let without_x = combinations rest size in
+      with_x @ without_x
+  end
+
+let selections candidates capacity =
+  let n = List.length candidates in
+  combinations candidates (min capacity n)
+  |> List.sort_uniq compare
+
+let best ~cache ~capacity ~steps =
+  let cache = List.map (fun (side, v) -> (side, Some v)) cache in
+  let rec go (cache : entry list) = function
+    | [] -> 0.0
+    | dist :: rest ->
+      List.fold_left
+        (fun acc (p, (r, s)) ->
+          if p <= 0.0 then acc
+          else begin
+            let immediate = float_of_int (match_count cache (r, s)) in
+            let candidates = cache @ [ (Tuple.R, r); (Tuple.S, s) ] in
+            let continue =
+              List.fold_left
+                (fun best sel -> Float.max best (go sel rest))
+                Float.neg_infinity
+                (selections candidates capacity)
+            in
+            acc +. (p *. (immediate +. continue))
+          end)
+        0.0 dist
+  in
+  go cache steps
+
+(* --- predetermined plans ------------------------------------------- *)
+
+(* Entities are identified by origin, not by observed value. *)
+type entity = Init of int * Tuple.side * int | Arr of int * Tuple.side
+
+let marginal steps t side v =
+  (* Pr{arrival of [side] at step [t] has value [v]} *)
+  List.fold_left
+    (fun acc (p, (r, s)) ->
+      let value = match side with Tuple.R -> r | Tuple.S -> s in
+      if value = Some v then acc +. p else acc)
+    0.0 (List.nth steps t)
+
+let cross_match steps t_arr side_arr t_now =
+  (* E[Arr(t_arr, side_arr) matches the partner arrival at t_now];
+     steps are independent across time. *)
+  let partner = Tuple.partner side_arr in
+  let values =
+    List.filter_map (fun (_, (r, s)) ->
+        match side_arr with Tuple.R -> r | Tuple.S -> s)
+      (List.nth steps t_arr)
+    |> List.sort_uniq compare
+  in
+  List.fold_left
+    (fun acc v -> acc +. (marginal steps t_arr side_arr v *. marginal steps t_now partner v))
+    0.0 values
+
+let best_plan_benefit ~cache ~capacity ~steps =
+  let nsteps = List.length steps in
+  let expected_benefit kept t_now =
+    (* kept was decided after step t_now - 1; arrivals at t_now join it. *)
+    List.fold_left
+      (fun acc e ->
+        match e with
+        | Init (_, side, v) ->
+          acc +. marginal steps t_now (Tuple.partner side) v
+        | Arr (t_arr, side) -> acc +. cross_match steps t_arr side t_now)
+      0.0 kept
+  in
+  let rec go t kept =
+    if t >= nsteps then 0.0
+    else begin
+      let now_benefit = expected_benefit kept t in
+      let candidates = kept @ [ Arr (t, Tuple.R); Arr (t, Tuple.S) ] in
+      let continue =
+        List.fold_left
+          (fun best sel -> Float.max best (go (t + 1) sel))
+          Float.neg_infinity
+          (selections candidates capacity)
+      in
+      now_benefit +. continue
+    end
+  in
+  let init = List.mapi (fun i (side, v) -> Init (i, side, v)) cache in
+  go 0 init

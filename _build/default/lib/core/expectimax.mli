@@ -1,0 +1,36 @@
+(** Brute-force optimal *online* algorithm for tiny scenarios.
+
+    Section 3.3 defines optimality over strategies that may branch on the
+    actual values observed at runtime; Section 3.4 exhibits a 4-step
+    scenario where every predetermined plan (hence FlowExpect) is beaten
+    by such a strategy.  This module computes the optimal online expected
+    benefit by exhaustive expectimax — exponential, intended only for
+    scenarios of a handful of steps (tests and the §3.4 reproduction). *)
+
+type arrival = int option * int option
+(** Values of the R and S arrivals of one step; [None] stands for the
+    paper's "−" tuples that join nothing. *)
+
+type step = (float * arrival) list
+(** A step's joint arrival distribution: (probability, outcome) pairs
+    summing to 1.  Streams may be dependent — the joint law is explicit. *)
+
+val best :
+  cache:(Ssj_stream.Tuple.side * int) list ->
+  capacity:int ->
+  steps:step list ->
+  float
+(** Maximum expected number of results over the given steps, starting
+    from the given cache, choosing cache contents adaptively after each
+    observation.  Benefits count arrivals joining the cache decided in
+    the previous step (same-time R–S matches excluded), exactly as in
+    {!Ssj_engine.Join_sim}. *)
+
+val best_plan_benefit :
+  cache:(Ssj_stream.Tuple.side * int) list ->
+  capacity:int ->
+  steps:step list ->
+  float
+(** Same, but restricted to *predetermined* plans that fix the whole
+    replacement sequence up front (FlowExpect's search space, Section 3.4).
+    Undetermined tuples may still be "cached by position".  Exponential. *)

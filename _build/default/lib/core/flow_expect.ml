@@ -1,0 +1,148 @@
+open Ssj_stream
+open Ssj_model
+open Ssj_flow
+
+type plan = { keep : Tuple.t list; expected_benefit : float }
+type solver = [ `Ssp | `Scaling ]
+
+type entity =
+  | Determined of Tuple.side * int (* side, value *)
+  | Undetermined of Tuple.side * int (* side, arrival offset j >= 1 *)
+
+(* Backend-agnostic solving: collect arcs, dispatch, read back the flow on
+   the source arcs (the decision) and the total cost. *)
+let solve_arcs ~solver ~n_nodes ~arcs ~source ~sink ~target ~n_source_arcs =
+  match solver with
+  | `Ssp ->
+    let g = Mcmf.create n_nodes in
+    let handles =
+      List.map
+        (fun (src, dst, cap, cost) -> Mcmf.add_arc g ~src ~dst ~cap ~cost)
+        arcs
+    in
+    let result = Mcmf.solve g ~source ~sink ~target in
+    let source_flows =
+      List.filteri (fun i _ -> i < n_source_arcs) handles
+      |> List.map (fun h -> Mcmf.flow_on g h)
+    in
+    (source_flows, result.Mcmf.cost)
+  | `Scaling ->
+    let g = Scaling.create n_nodes in
+    let handles =
+      List.map
+        (fun (src, dst, cap, cost) -> Scaling.add_arc g ~src ~dst ~cap ~cost)
+        arcs
+    in
+    let result = Scaling.solve g ~source ~sink ~target in
+    let source_flows =
+      List.filteri (fun i _ -> i < n_source_arcs) handles
+      |> List.map (fun h -> Scaling.flow_on g h)
+    in
+    (source_flows, result.Scaling.cost)
+
+let decide ?(solver = `Ssp) ~r ~s ~lookahead ~now:_ ~cached ~arrivals ~capacity
+    () =
+  if lookahead < 1 then invalid_arg "Flow_expect.decide: lookahead < 1";
+  let candidates = cached @ arrivals in
+  let base = List.length candidates in
+  let target = min capacity base in
+  if target = 0 then { keep = []; expected_benefit = 0.0 }
+  else begin
+    let l = lookahead in
+    (* Conditional laws of both streams at offsets 1..l, shared by all
+       cost computations. *)
+    let pmf_r = Array.init (l + 1) (fun d -> if d = 0 then None else Some (r.Predictor.pmf d)) in
+    let pmf_s = Array.init (l + 1) (fun d -> if d = 0 then None else Some (s.Predictor.pmf d)) in
+    let law side d =
+      match (side, pmf_r.(d), pmf_s.(d)) with
+      | Tuple.R, Some p, _ -> p
+      | Tuple.S, _, Some p -> p
+      | _, None, _ | _, _, None -> assert false
+    in
+    (* Expected one-step benefit of keeping entity [e] through time t0+d. *)
+    let benefit e d =
+      match e with
+      | Determined (side, v) -> Ssj_prob.Pmf.prob (law (Tuple.partner side) d) v
+      | Undetermined (side, j) ->
+        Ssj_prob.Pmf.dot (law side j) (law (Tuple.partner side) d)
+    in
+    let entity_at idx =
+      if idx < base then begin
+        let t = List.nth candidates idx in
+        Determined (t.Tuple.side, t.Tuple.value)
+      end
+      else begin
+        let j = ((idx - base) / 2) + 1 in
+        let side = if (idx - base) mod 2 = 0 then Tuple.R else Tuple.S in
+        Undetermined (side, j)
+      end
+    in
+    let entity_count i = base + (2 * i) in
+    (* Node layout: 0 = source, 1 = sink, then slice blocks, then
+       connectors (one per slice i >= 1). *)
+    let offsets = Array.make l 0 in
+    let acc = ref 2 in
+    for i = 0 to l - 1 do
+      offsets.(i) <- !acc;
+      acc := !acc + entity_count i
+    done;
+    let conn_off = !acc in
+    let n_nodes = conn_off + (l - 1) in
+    let node i e = offsets.(i) + e in
+    let connector i = conn_off + i - 1 in
+    let source = 0 and sink = 1 in
+    (* Source arcs first, so the decision can be read back by index. *)
+    let arcs = ref [] in
+    let add src dst cap cost = arcs := (src, dst, cap, cost) :: !arcs in
+    for e = 0 to base - 1 do
+      add source (node 0 e) 1 0.0
+    done;
+    (* Slice 0 contains no connector: arrivals are already determined. *)
+    for i = 0 to l - 2 do
+      for e = 0 to entity_count i - 1 do
+        add (node i e) (node (i + 1) e) 1 (-.benefit (entity_at e) (i + 1))
+      done
+    done;
+    for i = 1 to l - 1 do
+      let c = connector i in
+      for e = 0 to entity_count (i - 1) - 1 do
+        add (node i e) c 1 0.0
+      done;
+      let new0 = base + (2 * (i - 1)) in
+      add c (node i new0) 1 0.0;
+      add c (node i (new0 + 1)) 1 0.0
+    done;
+    for e = 0 to entity_count (l - 1) - 1 do
+      add (node (l - 1) e) sink 1 (-.benefit (entity_at e) l)
+    done;
+    let source_flows, cost =
+      solve_arcs ~solver ~n_nodes ~arcs:(List.rev !arcs) ~source ~sink ~target
+        ~n_source_arcs:base
+    in
+    let keep =
+      List.filteri (fun e _ -> List.nth source_flows e > 0) candidates
+    in
+    { keep; expected_benefit = -.cost }
+  end
+
+let policy ?name ?solver ~r ~s ~lookahead () =
+  let r_pred = ref r and s_pred = ref s in
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "FLOWEXPECT(l=%d)" lookahead
+  in
+  let select ~now ~cached ~arrivals ~capacity =
+    List.iter
+      (fun (t : Tuple.t) ->
+        match t.Tuple.side with
+        | Tuple.R -> r_pred := !r_pred.Predictor.observe t.Tuple.value
+        | Tuple.S -> s_pred := !s_pred.Predictor.observe t.Tuple.value)
+      arrivals;
+    let plan =
+      decide ?solver ~r:!r_pred ~s:!s_pred ~lookahead ~now ~cached ~arrivals
+        ~capacity ()
+    in
+    plan.keep
+  in
+  { Policy.name; select }

@@ -1,0 +1,54 @@
+(** FlowExpect — Section 3.
+
+    At every time step, build the time-expanded flow graph of Section 3.1
+    over look-ahead [l]: slice [G_{t0}] holds the [k] cached tuples plus
+    the two arrivals (determined nodes); each later slice copies every
+    node of the previous slice (horizontal "keep" arcs costing the negated
+    expected one-step benefit) and adds two undetermined arrival nodes,
+    reachable from the duplicates through a per-slice connector node
+    (replacement, cost 0) — the compact arc layout counted in the paper's
+    Appendix D.  A min-cost integral flow of value [k] picks the best
+    *predetermined* replacement plan (Theorem 2); the first slice's flow
+    gives this step's decision.
+
+    The per-step graph solve makes FlowExpect expensive, and Section 3.4
+    shows it is suboptimal regardless; it serves as a yardstick. *)
+
+type plan = {
+  keep : Ssj_stream.Tuple.t list;  (** the k tuples to retain at [t0] *)
+  expected_benefit : float;
+      (** expected number of results over [\[t0+1, t0+l\]] under the chosen
+          plan (the negated min cost) *)
+}
+
+type solver = [ `Ssp | `Scaling ]
+(** Min-cost-flow backend: successive shortest paths (default, faster on
+    these small graphs) or Goldberg's cost-scaling ({!Ssj_flow.Scaling},
+    the algorithm the paper cites).  Both return exact optima; agreement
+    is property-tested. *)
+
+val decide :
+  ?solver:solver ->
+  r:Ssj_model.Predictor.t ->
+  s:Ssj_model.Predictor.t ->
+  lookahead:int ->
+  now:int ->
+  cached:Ssj_stream.Tuple.t list ->
+  arrivals:Ssj_stream.Tuple.t list ->
+  capacity:int ->
+  unit ->
+  plan
+(** One FlowExpect step.  The predictors must already have observed
+    everything up to and including time [now] (history [x̄_{t0}]).
+    [lookahead ≥ 1]. *)
+
+val policy :
+  ?name:string ->
+  ?solver:solver ->
+  r:Ssj_model.Predictor.t ->
+  s:Ssj_model.Predictor.t ->
+  lookahead:int ->
+  unit ->
+  Policy.join
+(** The online policy: observes arrivals, then calls {!decide} each step.
+    Predictors are passed positioned before the first arrival. *)

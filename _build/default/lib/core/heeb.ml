@@ -1,0 +1,283 @@
+open Ssj_stream
+open Ssj_model
+
+type incr_config = { alpha : float; refresh_every : int }
+type mode = [ `Direct | `Incremental of incr_config | `Memo_trend of int ]
+
+let incr ~alpha = `Incremental { alpha; refresh_every = 64 }
+
+let src = Logs.Src.create "ssj.heeb" ~doc:"HEEB policy internals"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* ------------------------------------------------------------------ *)
+(* Joining                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type joining_state = {
+  mutable r_pred : Predictor.t;
+  mutable s_pred : Predictor.t;
+  (* uid -> (H, time of last direct computation) *)
+  hvals : (int, float * int) Hashtbl.t;
+  (* offset -> H, for `Memo_trend` *)
+  memo : (Tuple.side * int, float) Hashtbl.t;
+}
+
+let partner_pred st = function
+  | Tuple.R -> st.s_pred
+  | Tuple.S -> st.r_pred
+
+let direct_h st ~l (t : Tuple.t) =
+  Hvalue.joining ~partner:(partner_pred st t.side) ~l ~value:t.value
+
+let joining ?name ~r ~s ~l ?(mode = `Direct) () =
+  let mode =
+    match mode with
+    | `Incremental _ when not (r.Predictor.independent && s.Predictor.independent)
+      ->
+      Log.warn (fun m ->
+          m "incremental HEEB needs independent processes; using direct mode");
+      `Direct
+    | m -> m
+  in
+  let st =
+    {
+      r_pred = r;
+      s_pred = s;
+      hvals = Hashtbl.create 128;
+      memo = Hashtbl.create 128;
+    }
+  in
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "HEEB(%s)" l.Lfun.name
+  in
+  let select ~now ~cached ~arrivals ~capacity =
+    (* Prior one-step laws, needed by the Corollary 3 update: they are the
+       probabilities Pr{X_{now} = v} *before* observing today's arrivals. *)
+    let prior_r = st.r_pred.Predictor.pmf 1 in
+    let prior_s = st.s_pred.Predictor.pmf 1 in
+    List.iter
+      (fun (t : Tuple.t) ->
+        match t.side with
+        | Tuple.R -> st.r_pred <- st.r_pred.Predictor.observe t.value
+        | Tuple.S -> st.s_pred <- st.s_pred.Predictor.observe t.value)
+      arrivals;
+    let score (t : Tuple.t) =
+      match mode with
+      | `Direct -> direct_h st ~l t
+      | `Memo_trend speed ->
+        let key = (t.side, t.value - (speed * now)) in
+        (match Hashtbl.find_opt st.memo key with
+        | Some h -> h
+        | None ->
+          let h = direct_h st ~l t in
+          Hashtbl.replace st.memo key h;
+          h)
+      | `Incremental { alpha; refresh_every } ->
+        let recompute () =
+          let h = direct_h st ~l t in
+          Hashtbl.replace st.hvals t.uid (h, now);
+          h
+        in
+        if t.arrival = now then recompute ()
+        else begin
+          match Hashtbl.find_opt st.hvals t.uid with
+          | None -> recompute ()
+          | Some (h_prev, at) ->
+            if now - at >= refresh_every then recompute ()
+            else begin
+              let prior =
+                match t.side with
+                | Tuple.R -> prior_s (* an R tuple joins S arrivals *)
+                | Tuple.S -> prior_r
+              in
+              let p_now = Ssj_prob.Pmf.prob prior t.value in
+              let h = Hvalue.step_joining_exp ~alpha ~h_prev ~p_now in
+              Hashtbl.replace st.hvals t.uid (h, at);
+              h
+            end
+        end
+    in
+    let kept =
+      Policy.keep_top ~capacity ~score ~tie:Policy.newer_first (cached @ arrivals)
+    in
+    (* Drop incremental state of evicted tuples. *)
+    (match mode with
+    | `Incremental _ ->
+      let keep_uids = List.map (fun (t : Tuple.t) -> t.uid) kept in
+      Hashtbl.iter
+        (fun uid _ -> if not (List.mem uid keep_uids) then Hashtbl.remove st.hvals uid)
+        (Hashtbl.copy st.hvals)
+    | `Direct | `Memo_trend _ -> ());
+    kept
+  in
+  { Policy.name; select }
+
+let joining_curves ?name ~h_r_tuples ~h_s_tuples () =
+  let r_last = ref None and s_last = ref None in
+  let name = Option.value ~default:"HEEB(h1)" name in
+  let select ~now:_ ~cached ~arrivals ~capacity =
+    List.iter
+      (fun (t : Tuple.t) ->
+        match t.side with
+        | Tuple.R -> r_last := Some t.value
+        | Tuple.S -> s_last := Some t.value)
+      arrivals;
+    let score (t : Tuple.t) =
+      match t.side with
+      | Tuple.R -> (
+        (* R tuples join future S arrivals: offset against S's position. *)
+        match !s_last with
+        | None -> 0.0
+        | Some x -> Interp.Curve.eval h_r_tuples (float_of_int (t.value - x)))
+      | Tuple.S -> (
+        match !r_last with
+        | None -> 0.0
+        | Some x -> Interp.Curve.eval h_s_tuples (float_of_int (t.value - x)))
+    in
+    Policy.keep_top ~capacity ~score ~tie:Policy.newer_first (cached @ arrivals)
+  in
+  { Policy.name; select }
+
+let joining_adaptive ?name ?(initial_lifetime = 5.0) ?(smoothing = 0.05) ~r ~s
+    () =
+  let name = Option.value ~default:"HEEB-adaptive" name in
+  if not (initial_lifetime > 1.0) then
+    invalid_arg "Heeb.joining_adaptive: initial_lifetime <= 1";
+  if smoothing <= 0.0 || smoothing > 1.0 then
+    invalid_arg "Heeb.joining_adaptive: smoothing outside (0, 1]";
+  let st =
+    { r_pred = r; s_pred = s; hvals = Hashtbl.create 8; memo = Hashtbl.create 8 }
+  in
+  let lifetime = ref initial_lifetime in
+  let admitted_at : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let select ~now ~cached ~arrivals ~capacity =
+    List.iter
+      (fun (t : Tuple.t) ->
+        match t.Tuple.side with
+        | Tuple.R -> st.r_pred <- st.r_pred.Predictor.observe t.Tuple.value
+        | Tuple.S -> st.s_pred <- st.s_pred.Predictor.observe t.Tuple.value)
+      arrivals;
+    let alpha = Lfun.alpha_for_lifetime (Float.max 1.01 !lifetime) in
+    let l = Lfun.exp_ ~alpha in
+    let kept =
+      Policy.keep_top ~capacity ~score:(direct_h st ~l) ~tie:Policy.newer_first
+        (cached @ arrivals)
+    in
+    (* Update the lifetime estimate from this step's evictions, and track
+       new admissions. *)
+    let kept_uid uid = List.exists (fun (t : Tuple.t) -> t.Tuple.uid = uid) kept in
+    List.iter
+      (fun (t : Tuple.t) ->
+        if not (kept_uid t.Tuple.uid) then begin
+          (match Hashtbl.find_opt admitted_at t.Tuple.uid with
+          | Some at ->
+            let residence = float_of_int (max 1 (now - at)) in
+            lifetime :=
+              ((1.0 -. smoothing) *. !lifetime) +. (smoothing *. residence)
+          | None -> ());
+          Hashtbl.remove admitted_at t.Tuple.uid
+        end)
+      cached;
+    List.iter
+      (fun (t : Tuple.t) ->
+        if kept_uid t.Tuple.uid then Hashtbl.replace admitted_at t.Tuple.uid now)
+      arrivals;
+    kept
+  in
+  { Policy.name; select }
+
+(* ------------------------------------------------------------------ *)
+(* Caching                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let caching_direct_h pred ~l value =
+  match pred.Predictor.kernel with
+  | Some kernel when not pred.Predictor.independent ->
+    let start =
+      match pred.Predictor.last with
+      | Some v -> max kernel.Markov.lo (min kernel.Markov.hi v)
+      | None -> (kernel.Markov.lo + kernel.Markov.hi) / 2
+    in
+    Hvalue.caching_markov ~kernel ~start ~l ~value
+  | Some _ | None -> Hvalue.caching_independent ~reference:pred ~l ~value
+
+let caching ?name ~reference ~l ?(mode = `Direct) () =
+  let mode =
+    match mode with
+    | `Incremental _ when not reference.Predictor.independent ->
+      Log.warn (fun m ->
+          m "incremental caching HEEB needs an independent reference; using direct");
+      `Direct
+    | `Memo_trend _ -> `Direct
+    | m -> m
+  in
+  let pred = ref reference in
+  let hvals : (int, float * int) Hashtbl.t = Hashtbl.create 128 in
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "HEEB(%s)" l.Lfun.name
+  in
+  let access ~now ~cached ~value ~hit ~capacity =
+    let prior = !pred.Predictor.pmf 1 in
+    pred := !pred.Predictor.observe value;
+    let score v =
+      let recompute () =
+        let h = caching_direct_h !pred ~l v in
+        Hashtbl.replace hvals v (h, now);
+        h
+      in
+      match mode with
+      | `Direct | `Memo_trend _ -> caching_direct_h !pred ~l v
+      | `Incremental { alpha; refresh_every } ->
+        if v = value then recompute () (* fetched or just hit: clock restarts *)
+        else begin
+          match Hashtbl.find_opt hvals v with
+          | None -> recompute ()
+          | Some (h_prev, at) ->
+            if now - at >= refresh_every then recompute ()
+            else begin
+              let p_now = Ssj_prob.Pmf.prob prior v in
+              let h = Hvalue.step_caching_exp ~alpha ~h_prev ~p_now in
+              Hashtbl.replace hvals v (h, at);
+              h
+            end
+        end
+    in
+    let candidates = if hit then cached else value :: cached in
+    let scored = List.map (fun v -> (score v, v)) candidates in
+    let ordered =
+      List.sort (fun (sa, va) (sb, vb) ->
+          match Float.compare sb sa with 0 -> Int.compare vb va | c -> c)
+        scored
+    in
+    let kept = List.filteri (fun i _ -> i < capacity) ordered |> List.map snd in
+    (match mode with
+    | `Incremental _ ->
+      Hashtbl.iter
+        (fun v _ -> if not (List.mem v kept) then Hashtbl.remove hvals v)
+        (Hashtbl.copy hvals)
+    | `Direct | `Memo_trend _ -> ());
+    kept
+  in
+  { Policy.cname = name; access }
+
+let caching_fn ?name ~h () =
+  let name = Option.value ~default:"HEEB(h)" name in
+  let access ~now ~cached ~value ~hit ~capacity =
+    (* The history x̄_{t0} includes the reference just observed, so the
+       conditioning value for h2(v_x, x_{t0}) is today's [value]. *)
+    let score v = h ~now ~last:value ~value:v in
+    let candidates = if hit then cached else value :: cached in
+    let scored = List.map (fun v -> (score v, v)) candidates in
+    let ordered =
+      List.sort (fun (sa, va) (sb, vb) ->
+          match Float.compare sb sa with 0 -> Int.compare vb va | c -> c)
+        scored
+    in
+    List.filteri (fun i _ -> i < capacity) ordered |> List.map snd
+  in
+  { Policy.cname = name; access }

@@ -1,0 +1,56 @@
+open Ssj_model
+
+let max_caching_horizon = 200_000
+let survival_eps = 1e-12
+
+let require_finite_horizon (l : Lfun.t) context =
+  if l.Lfun.horizon >= max_int / 8 then
+    invalid_arg
+      (Printf.sprintf "Hvalue.%s: %s has no finite horizon (caching-only L)"
+         context l.Lfun.name)
+
+let joining ~partner ~l ~value =
+  require_finite_horizon l "joining";
+  let acc = ref 0.0 in
+  for d = 1 to l.Lfun.horizon do
+    let p = Predictor.prob partner ~delta:d value in
+    if p > 0.0 then acc := !acc +. (p *. l.Lfun.l d)
+  done;
+  !acc
+
+let caching_independent ~reference ~l ~value =
+  let horizon = min l.Lfun.horizon max_caching_horizon in
+  let acc = ref 0.0 in
+  let survive = ref 1.0 in
+  let d = ref 1 in
+  while !d <= horizon && !survive > survival_eps do
+    let p = Predictor.prob reference ~delta:!d value in
+    (* first-reference probability at this step *)
+    acc := !acc +. (!survive *. p *. l.Lfun.l !d);
+    survive := !survive *. (1.0 -. p);
+    incr d
+  done;
+  !acc
+
+let caching_markov ~kernel ~start ~l ~value =
+  let horizon = min l.Lfun.horizon max_caching_horizon in
+  (* The first-passage DP already embodies the survival decay; cap the
+     horizon at something the DP can afford and rely on L/tail decay. *)
+  let horizon = min horizon 4096 in
+  let first = Markov.first_passage kernel ~start ~target:value ~horizon in
+  let acc = ref 0.0 in
+  Array.iteri (fun i p -> if p > 0.0 then acc := !acc +. (p *. l.Lfun.l (i + 1))) first;
+  !acc
+
+let step_joining_exp ~alpha ~h_prev ~p_now = (exp (1.0 /. alpha) *. h_prev) -. p_now
+
+let step_caching_exp ~alpha ~h_prev ~p_now =
+  if p_now >= 1.0 then 0.0
+  else ((exp (1.0 /. alpha) *. h_prev) -. p_now) /. (1.0 -. p_now)
+
+let value_shift ~speed ~value ~reference_value =
+  if speed = 0 then invalid_arg "Hvalue.value_shift: zero trend speed";
+  let diff = reference_value - value in
+  if diff mod speed <> 0 then
+    invalid_arg "Hvalue.value_shift: speed does not divide value difference";
+  diff / speed

@@ -1,0 +1,152 @@
+module Curve = struct
+  type t = { x0 : float; dx : float; ys : float array }
+
+  let create ~x0 ~dx ys =
+    if Array.length ys < 2 then invalid_arg "Interp.Curve.create: need >= 2 samples";
+    if dx <= 0.0 then invalid_arg "Interp.Curve.create: dx <= 0";
+    { x0; dx; ys }
+
+  let eval t x =
+    let n = Array.length t.ys in
+    let pos = (x -. t.x0) /. t.dx in
+    if pos <= 0.0 then t.ys.(0)
+    else if pos >= float_of_int (n - 1) then t.ys.(n - 1)
+    else begin
+      let i = int_of_float (Float.floor pos) in
+      let frac = pos -. float_of_int i in
+      (t.ys.(i) *. (1.0 -. frac)) +. (t.ys.(i + 1) *. frac)
+    end
+
+  let x0 t = t.x0
+  let dx t = t.dx
+  let samples t = t.ys
+
+  let save t ~filename =
+    let oc = open_out filename in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        Printf.fprintf oc "ssj-curve-v1\n%h %h %d\n" t.x0 t.dx
+          (Array.length t.ys);
+        Array.iter (fun y -> Printf.fprintf oc "%h\n" y) t.ys)
+
+  let load ~filename =
+    let ic = open_in filename in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let fail msg = failwith ("Interp.Curve.load: " ^ msg) in
+        (try
+           if input_line ic <> "ssj-curve-v1" then fail "bad magic"
+         with End_of_file -> fail "empty file");
+        let x0, dx, n =
+          try Scanf.sscanf (input_line ic) " %h %h %d" (fun a b c -> (a, b, c))
+          with _ -> fail "bad header"
+        in
+        let ys =
+          Array.init n (fun _ ->
+              try Scanf.sscanf (input_line ic) " %h" Fun.id
+              with _ -> fail "bad sample")
+        in
+        create ~x0 ~dx ys)
+end
+
+module Surface = struct
+  type t = {
+    x0 : float;
+    dx : float;
+    y0 : float;
+    dy : float;
+    values : float array array; (* values.(i).(j) at (x0 + i dx, y0 + j dy) *)
+  }
+
+  let create ~x0 ~dx ~y0 ~dy values =
+    let nx = Array.length values in
+    if nx < 2 then invalid_arg "Interp.Surface.create: need >= 2 rows";
+    let ny = Array.length values.(0) in
+    if ny < 2 then invalid_arg "Interp.Surface.create: need >= 2 columns";
+    Array.iter
+      (fun row ->
+        if Array.length row <> ny then
+          invalid_arg "Interp.Surface.create: ragged rows")
+      values;
+    if dx <= 0.0 || dy <= 0.0 then invalid_arg "Interp.Surface.create: bad step";
+    { x0; dx; y0; dy; values }
+
+  let nx t = Array.length t.values
+  let ny t = Array.length t.values.(0)
+
+  (* Catmull–Rom weights for the four neighbouring samples at fractional
+     offset [u] in [0,1): the classic bicubic convolution kernel (a = -1/2),
+     which interpolates the samples and is C¹. *)
+  let weights u =
+    let u2 = u *. u in
+    let u3 = u2 *. u in
+    ( 0.5 *. (-.u3 +. (2.0 *. u2) -. u),
+      0.5 *. ((3.0 *. u3) -. (5.0 *. u2) +. 2.0),
+      0.5 *. ((-3.0 *. u3) +. (4.0 *. u2) +. u),
+      0.5 *. (u3 -. u2) )
+
+  let clamp lo hi v = max lo (min hi v)
+
+  let eval t x y =
+    let nx = nx t and ny = ny t in
+    let px = clamp 0.0 (float_of_int (nx - 1)) ((x -. t.x0) /. t.dx) in
+    let py = clamp 0.0 (float_of_int (ny - 1)) ((y -. t.y0) /. t.dy) in
+    let ix = min (nx - 2) (int_of_float (Float.floor px)) in
+    let iy = min (ny - 2) (int_of_float (Float.floor py)) in
+    let ux = px -. float_of_int ix and uy = py -. float_of_int iy in
+    let wx0, wx1, wx2, wx3 = weights ux in
+    let wy0, wy1, wy2, wy3 = weights uy in
+    (* Sample with edge clamping for the outer ring of the 4x4 patch. *)
+    let sample i j = t.values.(clamp 0 (nx - 1) i).(clamp 0 (ny - 1) j) in
+    let row i = (wy0 *. sample i (iy - 1)) +. (wy1 *. sample i iy)
+                +. (wy2 *. sample i (iy + 1)) +. (wy3 *. sample i (iy + 2)) in
+    (wx0 *. row (ix - 1)) +. (wx1 *. row ix) +. (wx2 *. row (ix + 1))
+    +. (wx3 *. row (ix + 2))
+
+  let save t ~filename =
+    let oc = open_out filename in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        Printf.fprintf oc "ssj-surface-v1\n%h %h %h %h %d %d\n" t.x0 t.dx t.y0
+          t.dy (nx t) (ny t);
+        Array.iter
+          (fun row ->
+            Array.iter (fun v -> Printf.fprintf oc "%h " v) row;
+            output_char oc '\n')
+          t.values)
+
+  let load ~filename =
+    let ic = open_in filename in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let fail msg = failwith ("Interp.Surface.load: " ^ msg) in
+        (try
+           if input_line ic <> "ssj-surface-v1" then fail "bad magic"
+         with End_of_file -> fail "empty file");
+        let x0, dx, y0, dy, nx, ny =
+          try
+            Scanf.sscanf (input_line ic) " %h %h %h %h %d %d"
+              (fun a b c d e f -> (a, b, c, d, e, f))
+          with _ -> fail "bad header"
+        in
+        let values =
+          Array.init nx (fun _ ->
+              let line = try input_line ic with End_of_file -> fail "truncated" in
+              let cells =
+                String.split_on_char ' ' (String.trim line)
+                |> List.filter (fun s -> s <> "")
+              in
+              if List.length cells <> ny then fail "row width mismatch";
+              Array.of_list
+                (List.map
+                   (fun s ->
+                     try Scanf.sscanf s " %h" Fun.id
+                     with _ -> fail "bad value")
+                   cells))
+        in
+        create ~x0 ~dx ~y0 ~dy values)
+end

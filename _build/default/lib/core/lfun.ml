@@ -1,0 +1,68 @@
+type t = { name : string; l : int -> float; horizon : int }
+
+let no_horizon = max_int / 4
+
+let fixed delta_t =
+  if delta_t < 1 then invalid_arg "Lfun.fixed: window < 1";
+  {
+    name = Printf.sprintf "L_fixed(%d)" delta_t;
+    l = (fun d -> if d <= delta_t then 1.0 else 0.0);
+    horizon = delta_t;
+  }
+
+let inf = { name = "L_inf"; l = (fun _ -> 1.0); horizon = no_horizon }
+
+let inv =
+  { name = "L_inv"; l = (fun d -> 1.0 /. float_of_int d); horizon = no_horizon }
+
+let exp_ ~alpha =
+  if alpha <= 0.0 then invalid_arg "Lfun.exp_: alpha <= 0";
+  (* Tail of the geometric series Σ_{d>h} e^{-d/α} = e^{-(h+1)/α}/(1-e^{-1/α});
+     pick h so it drops below 1e-12. *)
+  let r = exp (-1.0 /. alpha) in
+  let horizon =
+    let tail h = (r ** float_of_int (h + 1)) /. (1.0 -. r) in
+    let rec search h = if tail h < 1e-12 || h > 1_000_000 then h else search (h * 2) in
+    let hi = search 1 in
+    let rec bisect lo hi =
+      if hi - lo <= 1 then hi
+      else begin
+        let mid = (lo + hi) / 2 in
+        if tail mid < 1e-12 then bisect lo mid else bisect mid hi
+      end
+    in
+    bisect 0 hi
+  in
+  {
+    name = Printf.sprintf "L_exp(a=%.3g)" alpha;
+    l = (fun d -> exp (-.float_of_int d /. alpha));
+    horizon;
+  }
+
+let windowed base ~remaining =
+  let remaining = max 0 remaining in
+  {
+    name = Printf.sprintf "%s|win<=%d" base.name remaining;
+    l = (fun d -> if d > remaining then 0.0 else base.l d);
+    horizon = min base.horizon remaining;
+  }
+
+let alpha_for_lifetime lifetime =
+  if lifetime <= 1.0 then invalid_arg "Lfun.alpha_for_lifetime: lifetime <= 1";
+  -1.0 /. log (1.0 -. (1.0 /. lifetime))
+
+let predicted_lifetime ~alpha = 1.0 /. (1.0 -. exp (-1.0 /. alpha))
+
+let validate t ~upto =
+  let rec go d prev =
+    if d > upto then Ok ()
+    else begin
+      let v = t.l d in
+      if v < 0.0 || v > 1.0 then
+        Error (Printf.sprintf "%s: L(%d) = %g outside [0,1]" t.name d v)
+      else if v > prev +. 1e-12 then
+        Error (Printf.sprintf "%s: L(%d) = %g increases" t.name d v)
+      else go (d + 1) v
+    end
+  in
+  go 1 1.0

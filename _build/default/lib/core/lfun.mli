@@ -1,0 +1,48 @@
+(** Cache-survival estimators [L_x(Δt)] — Section 4.3.
+
+    [L_x(Δt)] estimates the probability that a tuple cached now is still
+    cached at time [t0 + Δt].  A valid choice must satisfy the paper's five
+    properties: range [0,1], non-increasing, convergence of [H_x],
+    dominance preservation, and non-triviality; [validate] spot-checks the
+    first two and the paper's sufficient convergence condition. *)
+
+type t = {
+  name : string;
+  l : int -> float;  (** [l delta] for [delta ≥ 1] *)
+  horizon : int;
+      (** summation horizon: the index beyond which the remaining tail of
+          [Σ L(Δt)] is negligible for [H] computation (and where [H]'s
+          terms may be truncated).  [max_int/4] means "caller must bound
+          the sum another way" ([L_inf], [L_inv]). *)
+}
+
+val fixed : int -> t
+(** [L_fixed(Δt) = 1] for [Δt ≤ ΔT], else 0: "all tuples are replaced
+    exactly at [t + ΔT]"; yields [H = B_x(ΔT)]. *)
+
+val inf : t
+(** [L_inf = 1]: probability the tuple is ever referenced (caching only —
+    [H] diverges for the joining problem). *)
+
+val inv : t
+(** [L_inv(Δt) = 1/Δt]: expected inverse waiting time (caching only). *)
+
+val exp_ : alpha:float -> t
+(** [L_exp(Δt) = e^{−Δt/α}], the paper's choice: convergent and
+    incrementally computable.  Horizon is set where the tail of
+    [Σ e^{−Δt/α}] drops below 1e-12. *)
+
+val windowed : t -> remaining:int -> t
+(** Section 7: force [L(Δt) = 0] once the tuple leaves the sliding window,
+    i.e. for [Δt > remaining]. *)
+
+val alpha_for_lifetime : float -> float
+(** The paper matches [α] so that the average lifetime predicted by
+    [L_exp], [1/(1 − e^{−1/α})], equals the estimated average lifetime of
+    a cached tuple.  Requires lifetime > 1. *)
+
+val predicted_lifetime : alpha:float -> float
+(** [1/(1 − e^{−1/α})] — inverse of [alpha_for_lifetime]. *)
+
+val validate : t -> upto:int -> (unit, string) result
+(** Check range and monotonicity over [1..upto]. *)

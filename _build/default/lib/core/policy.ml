@@ -1,0 +1,50 @@
+open Ssj_stream
+
+type join = {
+  name : string;
+  select :
+    now:int ->
+    cached:Tuple.t list ->
+    arrivals:Tuple.t list ->
+    capacity:int ->
+    Tuple.t list;
+}
+
+type cache = {
+  cname : string;
+  access :
+    now:int -> cached:int list -> value:int -> hit:bool -> capacity:int -> int list;
+}
+
+let validate_join_selection ~cached ~arrivals ~capacity result =
+  let candidates = cached @ arrivals in
+  let mem t = List.exists (Tuple.equal t) candidates in
+  if List.length result > capacity then
+    Error
+      (Printf.sprintf "selection of size %d exceeds capacity %d"
+         (List.length result) capacity)
+  else if not (List.for_all mem result) then
+    Error "selection contains a tuple that is neither cached nor arriving"
+  else begin
+    let sorted = List.sort Tuple.compare result in
+    let rec dup = function
+      | a :: (b :: _ as rest) -> if Tuple.equal a b then true else dup rest
+      | [ _ ] | [] -> false
+    in
+    if dup sorted then Error "selection contains duplicates" else Ok ()
+  end
+
+let newer_first a b = Int.compare b.Tuple.uid a.Tuple.uid
+
+let keep_top ~capacity ~score ~tie candidates =
+  if capacity <= 0 then []
+  else begin
+    let scored = List.map (fun t -> (score t, t)) candidates in
+    let ordered =
+      List.sort
+        (fun (sa, ta) (sb, tb) ->
+          match Float.compare sb sa with 0 -> tie ta tb | c -> c)
+        scored
+    in
+    List.filteri (fun i _ -> i < capacity) ordered |> List.map snd
+  end

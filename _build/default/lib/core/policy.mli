@@ -1,0 +1,55 @@
+(** The unified cache-replacement-policy interface — Section 3.3's
+    algorithm signature made executable.
+
+    A policy is a stateful decision procedure.  The simulator calls
+    [select] exactly once per time step, in time order, with the current
+    cache contents and the new arrivals; the policy returns the new cache
+    contents (a subset of cached ∪ arrivals of size ≤ capacity).  State
+    (history counts, predictors, incremental H values) lives inside the
+    closure.
+
+    Two variants mirror the paper's two problems: {!join} for joining two
+    streams and {!cache} for the caching problem (reference stream against
+    a database relation, where cache entries are database-tuple values). *)
+
+type join = {
+  name : string;
+  select :
+    now:int ->
+    cached:Ssj_stream.Tuple.t list ->
+    arrivals:Ssj_stream.Tuple.t list ->
+    capacity:int ->
+    Ssj_stream.Tuple.t list;
+}
+
+type cache = {
+  cname : string;
+  access :
+    now:int -> cached:int list -> value:int -> hit:bool -> capacity:int -> int list;
+      (** [value] is the join-attribute value of the incoming reference
+          tuple; on a miss the joining database tuple has been fetched and
+          may be cached.  Returns the new cache contents (values), a subset
+          of [cached ∪ {value}] of size ≤ [capacity]. *)
+}
+
+val validate_join_selection :
+  cached:Ssj_stream.Tuple.t list ->
+  arrivals:Ssj_stream.Tuple.t list ->
+  capacity:int ->
+  Ssj_stream.Tuple.t list ->
+  (unit, string) result
+(** Simulator-side sanity check: result ⊆ candidates, no duplicates,
+    within capacity. *)
+
+val keep_top :
+  capacity:int ->
+  score:(Ssj_stream.Tuple.t -> float) ->
+  tie:(Ssj_stream.Tuple.t -> Ssj_stream.Tuple.t -> int) ->
+  Ssj_stream.Tuple.t list ->
+  Ssj_stream.Tuple.t list
+(** Shared helper: keep the [capacity] candidates with the highest score;
+    [tie] is a comparator breaking score ties (negative means the first
+    argument is preferred, i.e. kept ahead of the second). *)
+
+val newer_first : Ssj_stream.Tuple.t -> Ssj_stream.Tuple.t -> int
+(** Standard tie-break: prefer later arrivals (deterministic). *)

@@ -1,0 +1,188 @@
+open Ssj_prob
+open Ssj_model
+
+let walk_joining_curve ~step ~drift ~l ~lo ~hi =
+  if lo > hi then invalid_arg "Precompute.walk_joining_curve: lo > hi";
+  let table = Convolve.Table.create step in
+  let horizon = l.Lfun.horizon in
+  if horizon >= max_int / 8 then
+    invalid_arg "Precompute.walk_joining_curve: L has no finite horizon";
+  let n = hi - lo + 1 in
+  let h = Array.make n 0.0 in
+  for delta = 1 to horizon do
+    let q = Convolve.Table.get table delta in
+    let w = l.Lfun.l delta in
+    if w > 0.0 then
+      for i = 0 to n - 1 do
+        let d = lo + i in
+        let p = Pmf.prob q (d - (drift * delta)) in
+        if p > 0.0 then h.(i) <- h.(i) +. (p *. w)
+      done
+  done;
+  Interp.Curve.create ~x0:(float_of_int lo) ~dx:1.0 h
+
+(* Dense kernel rows clipped to the window, for fast backward steps. *)
+type dense_kernel = {
+  lo : int;
+  n : int;
+  row_lo : int array; (* first window index each row covers *)
+  rows : float array array;
+}
+
+let densify (k : Markov.kernel) =
+  let n = k.Markov.hi - k.Markov.lo + 1 in
+  let row_lo = Array.make n 0 in
+  let rows =
+    Array.init n (fun i ->
+        let pmf = k.Markov.row (k.Markov.lo + i) in
+        let ylo = max (Pmf.lo pmf) k.Markov.lo in
+        let yhi = min (Pmf.hi pmf) k.Markov.hi in
+        row_lo.(i) <- ylo - k.Markov.lo;
+        if ylo > yhi then [||]
+        else Array.init (yhi - ylo + 1) (fun j -> Pmf.prob pmf (ylo + j)))
+  in
+  { lo = k.Markov.lo; n; row_lo; rows }
+
+let caching_columns ~kernel ~target ~ls ?(horizon = 4096) ?(stop_eps = 1e-9) () =
+  let dk = densify kernel in
+  let nl = Array.length ls in
+  let horizon = Array.fold_left (fun acc l -> max acc l.Lfun.horizon) 0 ls |> min horizon in
+  let h = Array.init nl (fun _ -> Array.make dk.n 0.0) in
+  if target < kernel.Markov.lo || target > kernel.Markov.hi then h
+  else begin
+    let ti = target - dk.lo in
+    (* u.(x) = Pr{first visit of target at current step d | start x}. *)
+    let u = Array.make dk.n 0.0 in
+    (* d = 1: one-step hit probability. *)
+    for x = 0 to dk.n - 1 do
+      let row = dk.rows.(x) and rlo = dk.row_lo.(x) in
+      let j = ti - rlo in
+      if j >= 0 && j < Array.length row then u.(x) <- row.(j)
+    done;
+    let masked = Array.make dk.n 0.0 in
+    let d = ref 1 in
+    let continue = ref true in
+    while !continue && !d <= horizon do
+      (* Accumulate this step's contribution for every L. *)
+      let sup = ref 0.0 in
+      for j = 0 to nl - 1 do
+        let w = ls.(j).Lfun.l !d in
+        if w > 0.0 then begin
+          let hj = h.(j) in
+          for x = 0 to dk.n - 1 do
+            hj.(x) <- hj.(x) +. (u.(x) *. w)
+          done
+        end
+      done;
+      for x = 0 to dk.n - 1 do
+        if u.(x) > !sup then sup := u.(x)
+      done;
+      (* Stop when the largest remaining per-step contribution is dust. *)
+      let max_l = Array.fold_left (fun acc l -> max acc (l.Lfun.l (!d + 1))) 0.0 ls in
+      if !sup *. max_l < stop_eps || !sup = 0.0 then continue := false
+      else begin
+        Array.blit u 0 masked 0 dk.n;
+        masked.(ti) <- 0.0;
+        for x = 0 to dk.n - 1 do
+          let row = dk.rows.(x) and rlo = dk.row_lo.(x) in
+          let acc = ref 0.0 in
+          for j = 0 to Array.length row - 1 do
+            acc := !acc +. (row.(j) *. masked.(rlo + j))
+          done;
+          u.(x) <- !acc
+        done;
+        incr d
+      end
+    done;
+    h
+  end
+
+let walk_caching_curve ~step ~drift ~l ~lo ~hi ?(horizon = 4096) () =
+  if lo > hi then invalid_arg "Precompute.walk_caching_curve: lo > hi";
+  let horizon = min horizon l.Lfun.horizon in
+  (* Shift-invariant kernel: run one DP with target 0; h1(d) for
+     d = v_x − x0 is the column entry at start x0 = −d.  Window sizing:
+     excursions reach |drift|·horizon + a few step deviations; clip to a
+     sane bound since far-away states contribute nothing. *)
+  let spread = Pmf.hi step - Pmf.lo step in
+  let excursion =
+    (abs drift * horizon) + (spread * int_of_float (Float.ceil (sqrt (float_of_int horizon)))) + spread
+  in
+  let excursion = min excursion 4000 in
+  let win_lo = min lo (-hi) - excursion and win_hi = max hi (-lo) + excursion in
+  let kernel = Markov.of_step ~step ~drift ~lo:win_lo ~hi:win_hi in
+  let columns = caching_columns ~kernel ~target:0 ~ls:[| l |] ~horizon () in
+  let col = columns.(0) in
+  (* h1(d) = H(target 0 | start −d). *)
+  let n = hi - lo + 1 in
+  let h = Array.init n (fun i -> col.(-(lo + i) - win_lo)) in
+  Interp.Curve.create ~x0:(float_of_int lo) ~dx:1.0 h
+
+let ar1_joining_h params ~l ~vx ~x0 =
+  let horizon = l.Lfun.horizon in
+  if horizon >= max_int / 8 then
+    invalid_arg "Precompute.ar1_joining_h: L has no finite horizon";
+  let acc = ref 0.0 in
+  for delta = 1 to min horizon 100_000 do
+    let w = l.Lfun.l delta in
+    if w > 0.0 then begin
+      let mu = Ar1.conditional_mean params ~x0:(float_of_int x0) ~delta in
+      let sd = Ar1.conditional_stddev params ~delta in
+      let p =
+        Special.normal_cdf ~mu ~sigma:sd (float_of_int vx +. 0.5)
+        -. Special.normal_cdf ~mu ~sigma:sd (float_of_int vx -. 0.5)
+      in
+      acc := !acc +. (p *. w)
+    end
+  done;
+  !acc
+
+let ar1_kernel params =
+  let mean = Ar1.stationary_mean params in
+  let sd = Ar1.stationary_stddev params in
+  let lo = int_of_float (Float.round (mean -. (6.0 *. sd))) in
+  let hi = int_of_float (Float.round (mean +. (6.0 *. sd))) in
+  Markov.of_ar1 ~phi0:params.Ar1.phi0 ~phi1:params.Ar1.phi1
+    ~sigma:params.Ar1.sigma ~lo ~hi
+
+let ar1_caching_exact params ~l ?(horizon = 2048) ~vx ~x0 () =
+  let kernel = ar1_kernel params in
+  let columns = caching_columns ~kernel ~target:vx ~ls:[| l |] ~horizon () in
+  let x0 = max kernel.Markov.lo (min kernel.Markov.hi x0) in
+  columns.(0).(x0 - kernel.Markov.lo)
+
+let ar1_caching_surfaces params ~ls ~vx_lo ~vx_hi ~x0_lo ~x0_hi ~nv ~nx
+    ?(horizon = 2048) () =
+  if nv < 2 || nx < 2 then invalid_arg "Precompute.ar1_caching_surfaces: grid < 2";
+  let kernel = ar1_kernel params in
+  let nl = Array.length ls in
+  let dv = float_of_int (vx_hi - vx_lo) /. float_of_int (nv - 1) in
+  let dx = float_of_int (x0_hi - x0_lo) /. float_of_int (nx - 1) in
+  (* values.(j).(i).(k): L index j, control vx index i, control x0 index k. *)
+  let values = Array.init nl (fun _ -> Array.make_matrix nv nx 0.0) in
+  for i = 0 to nv - 1 do
+    let vx =
+      int_of_float (Float.round (float_of_int vx_lo +. (float_of_int i *. dv)))
+    in
+    let columns = caching_columns ~kernel ~target:vx ~ls ~horizon () in
+    for j = 0 to nl - 1 do
+      for k = 0 to nx - 1 do
+        let x0 =
+          int_of_float
+            (Float.round (float_of_int x0_lo +. (float_of_int k *. dx)))
+        in
+        let x0 = max kernel.Markov.lo (min kernel.Markov.hi x0) in
+        values.(j).(i).(k) <- columns.(j).(x0 - kernel.Markov.lo)
+      done
+    done
+  done;
+  Array.map
+    (fun grid ->
+      Interp.Surface.create ~x0:(float_of_int vx_lo) ~dx:dv
+        ~y0:(float_of_int x0_lo) ~dy:dx grid)
+    values
+
+let ar1_caching_surface params ~l ~vx_lo ~vx_hi ~x0_lo ~x0_hi ~nv ~nx
+    ?horizon () =
+  (ar1_caching_surfaces params ~ls:[| l |] ~vx_lo ~vx_hi ~x0_lo ~x0_hi ~nv ~nx
+     ?horizon ()).(0)

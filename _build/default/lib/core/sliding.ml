@@ -1,0 +1,45 @@
+open Ssj_stream
+open Ssj_model
+
+let heeb ?name ~r ~s ~alpha ~window () =
+  let base = Lfun.exp_ ~alpha in
+  let r_pred = ref r and s_pred = ref s in
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "HEEB-W(a=%.3g,w=%d)" alpha (Window.width window)
+  in
+  let select ~now ~cached ~arrivals ~capacity =
+    List.iter
+      (fun (t : Tuple.t) ->
+        match t.Tuple.side with
+        | Tuple.R -> r_pred := !r_pred.Predictor.observe t.Tuple.value
+        | Tuple.S -> s_pred := !s_pred.Predictor.observe t.Tuple.value)
+      arrivals;
+    let score (t : Tuple.t) =
+      let remaining = Window.remaining_lifetime window ~now t in
+      if remaining <= 0 then Float.neg_infinity
+      else begin
+        let l = Lfun.windowed base ~remaining in
+        let partner =
+          match t.Tuple.side with Tuple.R -> !s_pred | Tuple.S -> !r_pred
+        in
+        Hvalue.joining ~partner ~l ~value:t.Tuple.value
+      end
+    in
+    Policy.keep_top ~capacity ~score ~tie:Policy.newer_first (cached @ arrivals)
+  in
+  { Policy.name; select }
+
+let stationary_score ~alpha ~p ~remaining_lifetime =
+  if remaining_lifetime <= 0 then 0.0
+  else begin
+    (* p · Σ_{d=1..life} e^{-d/α} = p · r(1 − r^life)/(1 − r), r = e^{-1/α} *)
+    let r = exp (-1.0 /. alpha) in
+    p *. r *. (1.0 -. (r ** float_of_int remaining_lifetime)) /. (1.0 -. r)
+  end
+
+let prob_score ~p ~remaining_lifetime = if remaining_lifetime <= 0 then 0.0 else p
+
+let life_score ~p ~remaining_lifetime =
+  p *. float_of_int (max 0 remaining_lifetime)

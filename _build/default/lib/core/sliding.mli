@@ -1,0 +1,32 @@
+(** Sliding-window join semantics — Section 7.
+
+    Tuples participate in the join only while inside the window
+    [\[t0 − w, t0\]].  The windowed ECB freezes at window exit
+    ({!Ecb.sliding}); the natural HEEB instance uses [L_exp] forced to 0
+    once the tuple leaves the window, which "weighs short-term benefits
+    more, yet does not ignore long-term benefits" — unlike PROB
+    (short-sighted) and LIFE (pessimistic), cf. the x1/x2/x3 example. *)
+
+val heeb :
+  ?name:string ->
+  r:Ssj_model.Predictor.t ->
+  s:Ssj_model.Predictor.t ->
+  alpha:float ->
+  window:Ssj_stream.Window.t ->
+  unit ->
+  Policy.join
+(** Windowed HEEB for the joining problem: each candidate is scored with
+    [L_exp(α)] truncated at its remaining window lifetime. *)
+
+val stationary_score :
+  alpha:float -> p:float -> remaining_lifetime:int -> float
+(** Closed form of the windowed-HEEB score for a stationary partner with
+    match probability [p]:
+    [H = p · Σ_{Δt=1..life} e^{−Δt/α}].  Used by the Section 7 example
+    (x1, x2, x3) and its tests. *)
+
+val prob_score : p:float -> remaining_lifetime:int -> float
+(** PROB's ranking key in the same scenario (just [p], 0 when expired). *)
+
+val life_score : p:float -> remaining_lifetime:int -> float
+(** LIFE's ranking key ([p · lifetime]). *)

@@ -1,0 +1,1 @@
+lib/engine/cache_sim.ml: Array Int List Policy Printf Ssj_core

@@ -1,0 +1,1 @@
+lib/engine/cache_sim.mli: Ssj_core

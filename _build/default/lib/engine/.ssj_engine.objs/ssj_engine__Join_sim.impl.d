@@ -1,0 +1,1 @@
+lib/engine/join_sim.ml: Array List Policy Printf Ssj_core Ssj_stream Trace Tuple Window

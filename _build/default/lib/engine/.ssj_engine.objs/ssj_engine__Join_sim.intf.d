@@ -1,0 +1,1 @@
+lib/engine/join_sim.mli: Ssj_core Ssj_stream

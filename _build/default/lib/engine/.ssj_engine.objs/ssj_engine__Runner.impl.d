@@ -1,0 +1,1 @@
+lib/engine/runner.ml: Array Cache_sim Classic Join_sim List Opt_offline Ssj_core Ssj_prob Ssj_stream

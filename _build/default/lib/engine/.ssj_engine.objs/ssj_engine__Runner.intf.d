@@ -1,0 +1,1 @@
+lib/engine/runner.mli: Ssj_core Ssj_stream

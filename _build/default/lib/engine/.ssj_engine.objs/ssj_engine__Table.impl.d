@@ -1,0 +1,1 @@
+lib/engine/table.ml: Array Format List Printf String

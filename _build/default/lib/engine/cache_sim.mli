@@ -1,0 +1,31 @@
+(** The caching-problem executor.
+
+    Replays a reference stream against a database relation with one tuple
+    per join-attribute value (referential integrity).  Each step is a hit
+    if the referenced value is cached, a miss otherwise; on a miss the
+    tuple is fetched and the policy may cache it. *)
+
+type result = {
+  hits : int;
+  misses : int;
+  counted_hits : int;  (** hits at times ≥ warm-up *)
+  counted_misses : int;
+}
+
+val run :
+  reference:int array ->
+  policy:Ssj_core.Policy.cache ->
+  capacity:int ->
+  ?warmup:int ->
+  ?validate:bool ->
+  unit ->
+  result
+
+val run_logged :
+  reference:int array ->
+  policy:Ssj_core.Policy.cache ->
+  capacity:int ->
+  unit ->
+  result * int list array
+(** Also returns the cache contents after each step (for recounting and
+    for the Theorem 1 reduction tests). *)

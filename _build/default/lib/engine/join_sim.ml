@@ -1,0 +1,104 @@
+open Ssj_stream
+open Ssj_core
+
+type result = {
+  total_results : int;
+  counted_results : int;
+  share_samples : (int * float) list;
+}
+
+let matches_in_cache ?window ?(band = 0) ~now cache (arrival : Tuple.t) =
+  let partner = Tuple.partner arrival.Tuple.side in
+  List.fold_left
+    (fun acc (c : Tuple.t) ->
+      let in_window =
+        match window with None -> true | Some w -> Window.inside w ~now c
+      in
+      if
+        in_window
+        && c.Tuple.side = partner
+        && abs (c.Tuple.value - arrival.Tuple.value) <= band
+      then acc + 1
+      else acc)
+    0 cache
+
+let r_share cache =
+  match cache with
+  | [] -> 0.0
+  | _ ->
+    let r =
+      List.length (List.filter (fun t -> t.Tuple.side = Tuple.R) cache)
+    in
+    float_of_int r /. float_of_int (List.length cache)
+
+let run_internal ~trace ~policy ~capacity ?(warmup = 0) ?window ?band
+    ?record_share ?(validate = false) ~log () =
+  let tlen = Trace.length trace in
+  let decisions =
+    match log with true -> Some (Array.make tlen []) | false -> None
+  in
+  let cache = ref [] in
+  let total = ref 0 and counted = ref 0 in
+  let shares = ref [] in
+  for now = 0 to tlen - 1 do
+    let r_t, s_t = Trace.arrivals trace now in
+    let produced =
+      matches_in_cache ?window ?band ~now !cache r_t
+      + matches_in_cache ?window ?band ~now !cache s_t
+    in
+    total := !total + produced;
+    if now >= warmup then counted := !counted + produced;
+    let arrivals = [ r_t; s_t ] in
+    let selection =
+      policy.Policy.select ~now ~cached:!cache ~arrivals ~capacity
+    in
+    if validate then begin
+      match
+        Policy.validate_join_selection ~cached:!cache ~arrivals ~capacity
+          selection
+      with
+      | Ok () -> ()
+      | Error msg ->
+        failwith (Printf.sprintf "policy %s at t=%d: %s" policy.Policy.name now msg)
+    end;
+    cache := selection;
+    (match decisions with Some d -> d.(now) <- selection | None -> ());
+    (match record_share with
+    | Some every when every > 0 && now mod every = 0 ->
+      shares := (now, r_share !cache) :: !shares
+    | Some _ | None -> ())
+  done;
+  ( {
+      total_results = !total;
+      counted_results = !counted;
+      share_samples = List.rev !shares;
+    },
+    decisions )
+
+let run ~trace ~policy ~capacity ?warmup ?window ?band ?record_share ?validate
+    () =
+  fst
+    (run_internal ~trace ~policy ~capacity ?warmup ?window ?band ?record_share
+       ?validate ~log:false ())
+
+let run_logged ~trace ~policy ~capacity ?window () =
+  match
+    run_internal ~trace ~policy ~capacity ?window ~validate:true ~log:true ()
+  with
+  | result, Some decisions -> (result, decisions)
+  | _, None -> assert false
+
+let recount ~trace ~decisions ?window () =
+  let total = ref 0 in
+  Array.iteri
+    (fun now _ ->
+      if now > 0 then begin
+        let cache = decisions.(now - 1) in
+        let r_t, s_t = Trace.arrivals trace now in
+        total :=
+          !total
+          + matches_in_cache ?window ~now cache r_t
+          + matches_in_cache ?window ~now cache s_t
+      end)
+    decisions;
+  !total

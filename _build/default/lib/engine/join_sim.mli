@@ -1,0 +1,52 @@
+(** The joining-problem executor.
+
+    Replays a trace step by step.  At each time [t] the two arrivals first
+    join against the cache contents decided at [t − 1] (same-time R–S
+    matches are excluded, as the paper's benefit accounting prescribes),
+    then the policy picks the new cache contents from cached ∪ arrivals.
+
+    With a sliding window, only cached tuples still inside the window
+    produce results. *)
+
+type result = {
+  total_results : int;  (** result tuples over the whole run *)
+  counted_results : int;  (** result tuples at times ≥ warm-up *)
+  share_samples : (int * float) list;
+      (** (time, fraction of cache occupied by R tuples), sampled every
+          [record_share] steps when requested — Figures 14/17/18 *)
+}
+
+val run :
+  trace:Ssj_stream.Trace.t ->
+  policy:Ssj_core.Policy.join ->
+  capacity:int ->
+  ?warmup:int ->
+  ?window:Ssj_stream.Window.t ->
+  ?band:int ->
+  ?record_share:int ->
+  ?validate:bool ->
+  unit ->
+  result
+(** [warmup] defaults to 0; [band] (default 0 = equijoin) switches to band
+    semantics, matching tuples with [|v1 − v2| ≤ band]; [validate]
+    (default false) checks every selection returned by the policy and
+    raises [Failure] on a violation — used by the test suite, skipped in
+    benchmarks. *)
+
+val recount :
+  trace:Ssj_stream.Trace.t ->
+  decisions:Ssj_stream.Tuple.t list array ->
+  ?window:Ssj_stream.Window.t ->
+  unit ->
+  int
+(** Independent re-derivation of the result count from a decision log
+    (cache contents after each step); lets tests cross-check [run]. *)
+
+val run_logged :
+  trace:Ssj_stream.Trace.t ->
+  policy:Ssj_core.Policy.join ->
+  capacity:int ->
+  ?window:Ssj_stream.Window.t ->
+  unit ->
+  result * Ssj_stream.Tuple.t list array
+(** Like [run] but also returns the decision log for [recount]. *)

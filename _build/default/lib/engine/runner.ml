@@ -1,0 +1,98 @@
+open Ssj_core
+
+type summary = {
+  label : string;
+  mean : float;
+  stddev : float;
+  per_run : float array;
+}
+
+let summarize ~label per_run =
+  {
+    label;
+    mean = Ssj_prob.Stats.mean per_run;
+    stddev = Ssj_prob.Stats.stddev per_run;
+    per_run;
+  }
+
+type joining_setup = {
+  capacity : int;
+  warmup : int;
+  window : Ssj_stream.Window.t option;
+}
+
+let default_warmup ~capacity = 4 * capacity
+
+let compare_joining ~setup ~traces ~policies ?(include_opt = true) () =
+  let { capacity; warmup; window } = setup in
+  let opt =
+    if include_opt then begin
+      let per_run =
+        Array.map
+          (fun trace ->
+            float_of_int
+              (Opt_offline.max_results_from ~trace ~capacity ~start:warmup ()))
+          traces
+      in
+      [ summarize ~label:"OPT-OFFLINE" per_run ]
+    end
+    else []
+  in
+  let evaluated =
+    List.map
+      (fun (label, make) ->
+        let per_run =
+          Array.map
+            (fun trace ->
+              let policy = make () in
+              let result =
+                Join_sim.run ~trace ~policy ~capacity ~warmup ?window ()
+              in
+              float_of_int result.Join_sim.counted_results)
+            traces
+        in
+        summarize ~label per_run)
+      policies
+  in
+  opt @ evaluated
+
+let compare_caching ~capacity ~warmup ~references ~policies
+    ?(include_lfd = true) ?(metric = `Misses) () =
+  let pick (r : Cache_sim.result) =
+    match metric with
+    | `Hits -> float_of_int r.Cache_sim.counted_hits
+    | `Misses -> float_of_int r.Cache_sim.counted_misses
+  in
+  let lfd =
+    if include_lfd then begin
+      let per_run =
+        Array.map
+          (fun reference ->
+            let policy = Classic.lfd ~reference in
+            pick (Cache_sim.run ~reference ~policy ~capacity ~warmup ()))
+          references
+      in
+      [ summarize ~label:"LFD" per_run ]
+    end
+    else []
+  in
+  let evaluated =
+    List.map
+      (fun (label, make) ->
+        let per_run =
+          Array.map
+            (fun reference ->
+              let policy = make () in
+              pick (Cache_sim.run ~reference ~policy ~capacity ~warmup ()))
+            references
+        in
+        summarize ~label per_run)
+      policies
+  in
+  lfd @ evaluated
+
+let share_trace ~trace ~policy ~capacity ~every =
+  let result =
+    Join_sim.run ~trace ~policy ~capacity ~record_share:every ()
+  in
+  result.Join_sim.share_samples

@@ -1,0 +1,56 @@
+(** Multi-run experiment harness.
+
+    The paper's synthetic experiments run 50 independent realisations of
+    the same stochastic configuration and report mean join counts after a
+    warm-up of at least four cache sizes (Section 6.2).  [compare_joining]
+    evaluates every policy on the *same* set of traces (paired runs keep
+    the variance of comparisons low) and can add the OPT-offline bound. *)
+
+type summary = {
+  label : string;
+  mean : float;
+  stddev : float;
+  per_run : float array;
+}
+
+val summarize : label:string -> float array -> summary
+
+type joining_setup = {
+  capacity : int;
+  warmup : int;  (** use [default_warmup] for the paper's 4·capacity rule *)
+  window : Ssj_stream.Window.t option;
+}
+
+val default_warmup : capacity:int -> int
+
+val compare_joining :
+  setup:joining_setup ->
+  traces:Ssj_stream.Trace.t array ->
+  policies:(string * (unit -> Ssj_core.Policy.join)) list ->
+  ?include_opt:bool ->
+  unit ->
+  summary list
+(** Each policy factory is invoked afresh per run (policies are stateful).
+    With [include_opt] (default true) an "OPT-OFFLINE" summary computed by
+    {!Ssj_core.Opt_offline} on the same traces is prepended. *)
+
+val compare_caching :
+  capacity:int ->
+  warmup:int ->
+  references:int array array ->
+  policies:(string * (unit -> Ssj_core.Policy.cache)) list ->
+  ?include_lfd:bool ->
+  ?metric:[ `Hits | `Misses ] ->
+  unit ->
+  summary list
+(** Caching analogue; [metric] selects what the summaries report
+    (default [`Misses], as in Figure 13). *)
+
+val share_trace :
+  trace:Ssj_stream.Trace.t ->
+  policy:Ssj_core.Policy.join ->
+  capacity:int ->
+  every:int ->
+  (int * float) list
+(** Fraction of the cache occupied by R tuples over time (Figures 14,
+    17, 18). *)

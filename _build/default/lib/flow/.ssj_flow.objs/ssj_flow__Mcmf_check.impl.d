@@ -1,0 +1,1 @@
+lib/flow/mcmf_check.ml: Array List Queue

@@ -1,0 +1,1 @@
+lib/flow/mcmf_check.mli:

@@ -1,0 +1,1 @@
+lib/flow/scaling.ml: Array Float Queue

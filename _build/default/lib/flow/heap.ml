@@ -1,0 +1,71 @@
+type 'a t = {
+  mutable prios : float array;
+  mutable items : 'a array;
+  mutable len : int;
+}
+
+let create () = { prios = [||]; items = [||]; len = 0 }
+let is_empty h = h.len = 0
+let size h = h.len
+let clear h = h.len <- 0
+
+let grow h item =
+  let cap = Array.length h.prios in
+  if h.len = cap then begin
+    let cap' = max 16 (2 * cap) in
+    let prios' = Array.make cap' 0.0 in
+    let items' = Array.make cap' item in
+    Array.blit h.prios 0 prios' 0 h.len;
+    Array.blit h.items 0 items' 0 h.len;
+    h.prios <- prios';
+    h.items <- items'
+  end
+
+let swap h i j =
+  let p = h.prios.(i) in
+  h.prios.(i) <- h.prios.(j);
+  h.prios.(j) <- p;
+  let x = h.items.(i) in
+  h.items.(i) <- h.items.(j);
+  h.items.(j) <- x
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.prios.(i) < h.prios.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.len && h.prios.(l) < h.prios.(!smallest) then smallest := l;
+  if r < h.len && h.prios.(r) < h.prios.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h prio item =
+  grow h item;
+  h.prios.(h.len) <- prio;
+  h.items.(h.len) <- item;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let peek_min h = if h.len = 0 then None else Some (h.prios.(0), h.items.(0))
+
+let pop_min h =
+  if h.len = 0 then None
+  else begin
+    let result = (h.prios.(0), h.items.(0)) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.prios.(0) <- h.prios.(h.len);
+      h.items.(0) <- h.items.(h.len);
+      sift_down h 0
+    end;
+    Some result
+  end

@@ -1,0 +1,20 @@
+(** Array-backed binary min-heap of [(priority, payload)] pairs.
+
+    Used as the Dijkstra frontier inside the min-cost-flow solver.  There
+    is no decrease-key: callers insert duplicates and discard stale pops
+    (lazy deletion), which is both simpler and fast enough here. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h priority payload]. *)
+
+val pop_min : 'a t -> (float * 'a) option
+(** Remove and return the entry with the smallest priority. *)
+
+val peek_min : 'a t -> (float * 'a) option
+val clear : 'a t -> unit

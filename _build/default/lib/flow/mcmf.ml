@@ -1,0 +1,271 @@
+type arc = int
+
+type t = {
+  n : int;
+  mutable m : int; (* number of user arcs; internal arcs = 2 * m *)
+  mutable to_ : int array; (* indexed by internal arc id *)
+  mutable cap : int array;
+  mutable cost : float array;
+  mutable next : int array; (* adjacency chain: next arc out of same node *)
+  head : int array; (* head.(v) = first internal arc out of v, or -1 *)
+  mutable solved : bool;
+}
+
+let create n =
+  {
+    n;
+    m = 0;
+    to_ = [||];
+    cap = [||];
+    cost = [||];
+    next = [||];
+    head = Array.make n (-1);
+    solved = false;
+  }
+
+let node_count g = g.n
+let arc_count g = g.m
+
+let ensure_capacity g =
+  let need = 2 * (g.m + 1) in
+  let have = Array.length g.to_ in
+  if need > have then begin
+    let cap' = max 32 (2 * have) in
+    let grow a fill =
+      let a' = Array.make cap' fill in
+      Array.blit a 0 a' 0 (Array.length a);
+      a'
+    in
+    g.to_ <- grow g.to_ 0;
+    g.cap <- grow g.cap 0;
+    g.cost <- grow g.cost 0.0;
+    g.next <- grow g.next (-1)
+  end
+
+let add_internal g src dst cap cost =
+  ensure_capacity g;
+  let place i src dst cap cost =
+    g.to_.(i) <- dst;
+    g.cap.(i) <- cap;
+    g.cost.(i) <- cost;
+    g.next.(i) <- g.head.(src);
+    g.head.(src) <- i
+  in
+  let fwd = 2 * g.m and bwd = (2 * g.m) + 1 in
+  place fwd src dst cap cost;
+  place bwd dst src 0 (-.cost);
+  g.m <- g.m + 1;
+  fwd / 2
+
+let add_arc g ~src ~dst ~cap ~cost =
+  if g.solved then invalid_arg "Mcmf.add_arc: graph already solved";
+  if src < 0 || src >= g.n || dst < 0 || dst >= g.n then
+    invalid_arg "Mcmf.add_arc: node out of range";
+  if cap < 0 then invalid_arg "Mcmf.add_arc: negative capacity";
+  if not (Float.is_finite cost) then invalid_arg "Mcmf.add_arc: non-finite cost";
+  add_internal g src dst cap cost
+
+type result = { flow : int; cost : float }
+
+let infinity_dist = Float.max_float
+
+(* Bellman–Ford (queue-based) over residual arcs, to obtain initial
+   potentials that make all reduced costs non-negative. *)
+let bellman_ford g source dist =
+  Array.fill dist 0 g.n infinity_dist;
+  dist.(source) <- 0.0;
+  let in_queue = Array.make g.n false in
+  let q = Queue.create () in
+  Queue.add source q;
+  in_queue.(source) <- true;
+  let rounds = ref 0 in
+  let limit = g.n * (2 * g.m) in
+  while not (Queue.is_empty q) do
+    incr rounds;
+    if !rounds > limit + g.n then failwith "Mcmf: negative cycle detected";
+    let u = Queue.take q in
+    in_queue.(u) <- false;
+    let arc = ref g.head.(u) in
+    while !arc >= 0 do
+      let a = !arc in
+      if g.cap.(a) > 0 then begin
+        let v = g.to_.(a) in
+        let nd = dist.(u) +. g.cost.(a) in
+        if nd < dist.(v) -. 1e-12 then begin
+          dist.(v) <- nd;
+          if not in_queue.(v) then begin
+            Queue.add v q;
+            in_queue.(v) <- true
+          end
+        end
+      end;
+      arc := g.next.(a)
+    done
+  done
+
+(* Dijkstra on reduced costs; fills [dist] and [pred_arc] (internal arc id
+   used to reach each node, or -1). *)
+let dijkstra g source pot dist pred_arc heap =
+  Array.fill dist 0 g.n infinity_dist;
+  Array.fill pred_arc 0 g.n (-1);
+  Heap.clear heap;
+  dist.(source) <- 0.0;
+  Heap.push heap 0.0 source;
+  let continue = ref true in
+  while !continue do
+    match Heap.pop_min heap with
+    | None -> continue := false
+    | Some (d, u) ->
+      if d <= dist.(u) +. 1e-12 then begin
+        let arc = ref g.head.(u) in
+        while !arc >= 0 do
+          let a = !arc in
+          if g.cap.(a) > 0 && pot.(g.to_.(a)) < infinity_dist then begin
+            let v = g.to_.(a) in
+            (* Reduced cost is non-negative in exact arithmetic; clamp
+               tiny negatives from float rounding. *)
+            let rc = max 0.0 (g.cost.(a) +. pot.(u) -. pot.(v)) in
+            let nd = dist.(u) +. rc in
+            if nd < dist.(v) -. 1e-15 then begin
+              dist.(v) <- nd;
+              pred_arc.(v) <- a;
+              Heap.push heap nd v
+            end
+          end;
+          arc := g.next.(a)
+        done
+      end
+  done
+
+let path_true_cost g pred_arc sink =
+  let rec go v acc =
+    let a = pred_arc.(v) in
+    if a < 0 then acc else go g.to_.(a lxor 1) (acc +. g.cost.(a))
+  in
+  go sink 0.0
+
+(* Shortest distances from [source] over positive-capacity arcs of an
+   acyclic graph, via one topological pass (Kahn).  Returns false (leaving
+   [dist] unspecified) if a cycle is detected. *)
+let dag_distances g source dist =
+  let indegree = Array.make g.n 0 in
+  for a = 0 to (2 * g.m) - 1 do
+    if g.cap.(a) > 0 then indegree.(g.to_.(a)) <- indegree.(g.to_.(a)) + 1
+  done;
+  let order = Array.make g.n 0 in
+  let count = ref 0 in
+  let q = Queue.create () in
+  for v = 0 to g.n - 1 do
+    if indegree.(v) = 0 then Queue.add v q
+  done;
+  while not (Queue.is_empty q) do
+    let v = Queue.take q in
+    order.(!count) <- v;
+    incr count;
+    let arc = ref g.head.(v) in
+    while !arc >= 0 do
+      if g.cap.(!arc) > 0 then begin
+        let w = g.to_.(!arc) in
+        indegree.(w) <- indegree.(w) - 1;
+        if indegree.(w) = 0 then Queue.add w q
+      end;
+      arc := g.next.(!arc)
+    done
+  done;
+  if !count < g.n then false
+  else begin
+    Array.fill dist 0 g.n infinity_dist;
+    dist.(source) <- 0.0;
+    for i = 0 to g.n - 1 do
+      let v = order.(i) in
+      if dist.(v) < infinity_dist then begin
+        let arc = ref g.head.(v) in
+        while !arc >= 0 do
+          let a = !arc in
+          if g.cap.(a) > 0 then begin
+            let w = g.to_.(a) in
+            let nd = dist.(v) +. g.cost.(a) in
+            if nd < dist.(w) then dist.(w) <- nd
+          end;
+          arc := g.next.(a)
+        done
+      end
+    done;
+    true
+  end
+
+let run ?(acyclic = false) ?breakpoints g ~source ~sink ~target
+    ~stop_at_nonnegative =
+  if g.solved then invalid_arg "Mcmf.solve: graph already solved";
+  g.solved <- true;
+  if source = sink then invalid_arg "Mcmf.solve: source = sink";
+  let pot = Array.make g.n 0.0 in
+  let dist = Array.make g.n 0.0 in
+  let pred_arc = Array.make g.n (-1) in
+  let heap = Heap.create () in
+  if not (acyclic && dag_distances g source dist) then
+    bellman_ford g source dist;
+  (* Unreachable nodes keep potential 0; they can never join an augmenting
+     path (see comment in the .mli), so their reduced costs are irrelevant. *)
+  Array.iteri (fun v d -> pot.(v) <- (if d < infinity_dist then d else infinity_dist)) dist;
+  let total_flow = ref 0 and total_cost = ref 0.0 in
+  let continue = ref true in
+  while !continue && !total_flow < target do
+    dijkstra g source pot dist pred_arc heap;
+    if dist.(sink) >= infinity_dist then continue := false
+    else begin
+      let path_cost = path_true_cost g pred_arc sink in
+      if stop_at_nonnegative && path_cost >= -1e-12 then continue := false
+      else begin
+        (* Bottleneck along the augmenting path. *)
+        let rec bottleneck v acc =
+          let a = pred_arc.(v) in
+          if a < 0 then acc
+          else bottleneck g.to_.(a lxor 1) (min acc g.cap.(a))
+        in
+        let push = min (bottleneck sink max_int) (target - !total_flow) in
+        let rec apply v =
+          let a = pred_arc.(v) in
+          if a >= 0 then begin
+            g.cap.(a) <- g.cap.(a) - push;
+            g.cap.(a lxor 1) <- g.cap.(a lxor 1) + push;
+            apply g.to_.(a lxor 1)
+          end
+        in
+        apply sink;
+        total_flow := !total_flow + push;
+        total_cost := !total_cost +. (float_of_int push *. path_cost);
+        (match breakpoints with
+        | Some acc -> acc := (!total_flow, !total_cost) :: !acc
+        | None -> ());
+        (* Johnson potential update for reached nodes only. *)
+        for v = 0 to g.n - 1 do
+          if dist.(v) < infinity_dist && pot.(v) < infinity_dist then
+            pot.(v) <- pot.(v) +. dist.(v)
+        done
+      end
+    end
+  done;
+  { flow = !total_flow; cost = !total_cost }
+
+let solve ?acyclic g ~source ~sink ~target =
+  run ?acyclic g ~source ~sink ~target ~stop_at_nonnegative:false
+
+let solve_curve ?acyclic g ~source ~sink ~target =
+  let acc = ref [] in
+  let result =
+    run ?acyclic ~breakpoints:acc g ~source ~sink ~target
+      ~stop_at_nonnegative:false
+  in
+  (List.rev !acc, result)
+
+let solve_min_cost_max_flow g ~source ~sink =
+  run g ~source ~sink ~target:max_int ~stop_at_nonnegative:true
+
+let flow_on g a =
+  (* Flow on user arc [a] equals the residual capacity of its twin. *)
+  g.cap.((2 * a) + 1)
+
+let arc_endpoints g a = (g.to_.((2 * a) + 1), g.to_.(2 * a))
+let arc_cost (g : t) a = g.cost.(2 * a)
+let arc_cap g a = g.cap.(2 * a) + g.cap.((2 * a) + 1)

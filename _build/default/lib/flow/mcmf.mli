@@ -1,0 +1,70 @@
+(** Min-cost flow on directed graphs with integer capacities and float costs.
+
+    This is the network-flow building block required by both OPT-offline
+    (Das et al., as cited by the paper) and FlowExpect (Section 3).  The
+    paper invokes Goldberg's cost-scaling solver for its complexity bound;
+    we substitute successive shortest augmenting paths with Johnson
+    potentials — the optimum is identical (exact, integral), only the
+    asymptotics differ (see DESIGN.md §5).
+
+    Negative arc costs are supported as long as the graph has no
+    negative-cost directed cycle of positive capacity (our graphs are DAGs).
+    Initial node potentials come from a Bellman–Ford pass; each augmentation
+    then runs Dijkstra on reduced costs. *)
+
+type t
+
+type arc = private int
+(** Handle returned by [add_arc], usable to query the final flow. *)
+
+val create : int -> t
+(** [create n] makes an empty graph on nodes [0 .. n-1]. *)
+
+val node_count : t -> int
+val arc_count : t -> int
+
+val add_arc : t -> src:int -> dst:int -> cap:int -> cost:float -> arc
+(** Adds a directed arc (and its residual twin).  Requires [cap ≥ 0] and
+    finite [cost]. *)
+
+type result = {
+  flow : int;      (** total flow actually pushed *)
+  cost : float;    (** its total cost *)
+}
+
+val solve : ?acyclic:bool -> t -> source:int -> sink:int -> target:int -> result
+(** [solve g ~source ~sink ~target] pushes up to [target] units of flow
+    along successively cheapest augmenting paths, *regardless of sign* of
+    the path cost (we want minimum cost at exactly the target value, not a
+    min-cost max-flow that stops at zero-profit).  Stops early only when
+    the sink becomes unreachable.  May be called once per graph.
+
+    [acyclic] (default false) asserts that the input graph is a DAG: the
+    initial potentials then come from one O(n + m) topological pass
+    instead of Bellman–Ford — essential for the large OPT-offline
+    networks.  Falls back to Bellman–Ford if a cycle is detected. *)
+
+val solve_curve :
+  ?acyclic:bool ->
+  t ->
+  source:int ->
+  sink:int ->
+  target:int ->
+  (int * float) list * result
+(** Like {!solve}, but also returns the (flow value, optimal cost)
+    breakpoints after every augmentation.  Successive-shortest-paths
+    invariants make the intermediate flows optimal for *their* value, so
+    one solve yields the whole optimum-vs-capacity curve; costs between
+    breakpoints interpolate linearly (constant marginal cost within one
+    augmentation). *)
+
+val solve_min_cost_max_flow : t -> source:int -> sink:int -> result
+(** Push flow only while the cheapest augmenting path has negative cost —
+    the "max benefit, any amount of flow" variant. *)
+
+val flow_on : t -> arc -> int
+(** Flow assigned to an arc by [solve]. *)
+
+val arc_endpoints : t -> arc -> int * int
+val arc_cost : t -> arc -> float
+val arc_cap : t -> arc -> int

@@ -1,0 +1,142 @@
+type graph = {
+  nodes : int;
+  arcs : (int * int * int * float) array; (* src, dst, cap, cost *)
+}
+
+(* Residual representation: forward arc 2i, backward 2i+1. *)
+type residual = {
+  n : int;
+  to_ : int array;
+  cap : int array;
+  cost : float array;
+  out : int list array; (* arcs out of each node *)
+}
+
+let residual_of_graph g =
+  let m = Array.length g.arcs in
+  let to_ = Array.make (2 * m) 0 in
+  let cap = Array.make (2 * m) 0 in
+  let cost = Array.make (2 * m) 0.0 in
+  let out = Array.make g.nodes [] in
+  Array.iteri
+    (fun i (src, dst, c, w) ->
+      to_.(2 * i) <- dst;
+      cap.(2 * i) <- c;
+      cost.(2 * i) <- w;
+      to_.((2 * i) + 1) <- src;
+      cap.((2 * i) + 1) <- 0;
+      cost.((2 * i) + 1) <- -.w;
+      out.(src) <- (2 * i) :: out.(src);
+      out.(dst) <- ((2 * i) + 1) :: out.(dst))
+    g.arcs;
+  { n = g.nodes; to_; cap; cost; out }
+
+(* BFS augmenting path (ignoring cost), pushing at most [limit] units. *)
+let bfs_augment ?(limit = max_int) r source sink =
+  let pred = Array.make r.n (-1) in
+  let seen = Array.make r.n false in
+  let q = Queue.create () in
+  Queue.add source q;
+  seen.(source) <- true;
+  let found = ref false in
+  while (not !found) && not (Queue.is_empty q) do
+    let u = Queue.take q in
+    List.iter
+      (fun a ->
+        let v = r.to_.(a) in
+        if r.cap.(a) > 0 && not seen.(v) then begin
+          seen.(v) <- true;
+          pred.(v) <- a;
+          if v = sink then found := true else Queue.add v q
+        end)
+      r.out.(u)
+  done;
+  if not !found then 0
+  else begin
+    let rec bottleneck v acc =
+      let a = pred.(v) in
+      if a < 0 then acc else bottleneck r.to_.(a lxor 1) (min acc r.cap.(a))
+    in
+    let push = min limit (bottleneck sink max_int) in
+    let rec apply v =
+      let a = pred.(v) in
+      if a >= 0 then begin
+        r.cap.(a) <- r.cap.(a) - push;
+        r.cap.(a lxor 1) <- r.cap.(a lxor 1) + push;
+        apply r.to_.(a lxor 1)
+      end
+    in
+    apply sink;
+    push
+  end
+
+(* Bellman–Ford negative-cycle detection on the residual graph; returns the
+   arcs of one negative cycle, or [] if none. *)
+let find_negative_cycle r =
+  let dist = Array.make r.n 0.0 in
+  let pred = Array.make r.n (-1) in
+  let updated_node = ref (-1) in
+  for _pass = 1 to r.n do
+    updated_node := -1;
+    for u = 0 to r.n - 1 do
+      List.iter
+        (fun a ->
+          if r.cap.(a) > 0 then begin
+            let v = r.to_.(a) in
+            if dist.(u) +. r.cost.(a) < dist.(v) -. 1e-9 then begin
+              dist.(v) <- dist.(u) +. r.cost.(a);
+              pred.(v) <- a;
+              updated_node := v
+            end
+          end)
+        r.out.(u)
+    done
+  done;
+  if !updated_node < 0 then []
+  else begin
+    (* Walk back n steps to land inside the cycle, then extract it. *)
+    let v = ref !updated_node in
+    for _ = 1 to r.n do
+      v := r.to_.(pred.(!v) lxor 1)
+    done;
+    let start = !v in
+    let rec collect v acc =
+      let a = pred.(v) in
+      let u = r.to_.(a lxor 1) in
+      if u = start then a :: acc else collect u (a :: acc)
+    in
+    collect start []
+  end
+
+let cancel_cycles r =
+  let rec loop () =
+    match find_negative_cycle r with
+    | [] -> ()
+    | cycle ->
+      let push = List.fold_left (fun acc a -> min acc r.cap.(a)) max_int cycle in
+      List.iter
+        (fun a ->
+          r.cap.(a) <- r.cap.(a) - push;
+          r.cap.(a lxor 1) <- r.cap.(a lxor 1) + push)
+        cycle;
+      loop ()
+  in
+  loop ()
+
+let min_cost_flow g ~source ~sink ~target =
+  let r = residual_of_graph g in
+  let flow = ref 0 in
+  let continue = ref true in
+  while !continue && !flow < target do
+    let pushed = bfs_augment ~limit:(target - !flow) r source sink in
+    if pushed = 0 then continue := false else flow := !flow + pushed
+  done;
+  cancel_cycles r;
+  (* Cost = sum over forward arcs of (flow on arc) * cost. *)
+  let cost = ref 0.0 in
+  Array.iteri
+    (fun i (_, _, _, w) ->
+      let f = r.cap.((2 * i) + 1) in
+      cost := !cost +. (float_of_int f *. w))
+    g.arcs;
+  (!flow, !cost)

@@ -1,0 +1,14 @@
+(** Independent (slow) min-cost-flow oracle used only by the test suite.
+
+    Finds a feasible flow of the requested value with plain BFS
+    augmentation, then removes every negative-cost residual cycle by
+    Bellman–Ford cycle cancelling.  Shares no code path with [Mcmf], so
+    agreement between the two is meaningful evidence of correctness. *)
+
+type graph = {
+  nodes : int;
+  arcs : (int * int * int * float) array; (* src, dst, cap, cost *)
+}
+
+val min_cost_flow : graph -> source:int -> sink:int -> target:int -> int * float
+(** Returns [(flow_achieved, cost)]. *)

@@ -1,0 +1,1 @@
+lib/model/ar1.ml: Dist Float Markov Predictor Ssj_prob

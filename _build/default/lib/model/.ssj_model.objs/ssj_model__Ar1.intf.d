@@ -1,0 +1,1 @@
+lib/model/ar1.mli: Predictor

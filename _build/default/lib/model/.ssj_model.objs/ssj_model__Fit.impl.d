@@ -1,0 +1,1 @@
+lib/model/fit.ml: Ar1 Array Float Ssj_prob Stats

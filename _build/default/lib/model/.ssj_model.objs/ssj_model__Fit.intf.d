@@ -1,0 +1,1 @@
+lib/model/fit.mli: Ar1

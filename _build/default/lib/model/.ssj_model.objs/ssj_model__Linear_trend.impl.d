@@ -1,0 +1,1 @@
+lib/model/linear_trend.ml: Predictor Ssj_prob

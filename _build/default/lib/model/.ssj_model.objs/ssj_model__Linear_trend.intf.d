@@ -1,0 +1,1 @@
+lib/model/linear_trend.mli: Predictor Ssj_prob

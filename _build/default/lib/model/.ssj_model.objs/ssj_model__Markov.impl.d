@@ -1,0 +1,1 @@
+lib/model/markov.ml: Array Dist Float Pmf Ssj_prob

@@ -1,0 +1,1 @@
+lib/model/markov.mli: Ssj_prob

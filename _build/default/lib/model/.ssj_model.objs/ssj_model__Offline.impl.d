@@ -1,0 +1,1 @@
+lib/model/offline.ml: Array Predictor Ssj_prob

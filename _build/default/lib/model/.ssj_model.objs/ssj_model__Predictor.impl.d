@@ -1,0 +1,1 @@
+lib/model/predictor.ml: Array Markov Ssj_prob

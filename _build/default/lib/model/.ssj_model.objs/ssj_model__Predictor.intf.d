@@ -1,0 +1,1 @@
+lib/model/predictor.mli: Markov Ssj_prob

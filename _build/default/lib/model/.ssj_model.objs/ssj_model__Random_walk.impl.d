@@ -1,0 +1,1 @@
+lib/model/random_walk.ml: Convolve Markov Pmf Predictor Ssj_prob

@@ -1,0 +1,1 @@
+lib/model/random_walk.mli: Predictor Ssj_prob

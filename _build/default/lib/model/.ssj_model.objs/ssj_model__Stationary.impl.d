@@ -1,0 +1,1 @@
+lib/model/stationary.ml: Predictor

@@ -1,0 +1,1 @@
+lib/model/stationary.mli: Predictor Ssj_prob

@@ -1,0 +1,22 @@
+(** AR(1) processes — Theorem 5 (φ₁ ≠ 1 case) and the REAL experiment.
+
+    [X_t = phi0 + phi1·X_{t-1} + Y_t] with [Y ~ N(0, sigma²)].  Conditioned
+    on [x_{t0}], the value at horizon [Δt] is normal with
+
+    mean  [phi1^Δt · x_{t0} + phi0 · (1 − phi1^Δt)/(1 − phi1)]
+    var   [sigma² · (1 − phi1^{2Δt})/(1 − phi1²)]
+
+    discretised per unit bin.  Requires [0 < |phi1| < 1] (use
+    {!Random_walk} for φ₁ = 1). *)
+
+type params = { phi0 : float; phi1 : float; sigma : float }
+
+val conditional_mean : params -> x0:float -> delta:int -> float
+val conditional_stddev : params -> delta:int -> float
+
+val stationary_mean : params -> float
+val stationary_stddev : params -> float
+
+val create : ?time:int -> ?window:int -> start:int -> params -> Predictor.t
+(** [window] bounds the Markov kernel for caching queries; default covers
+    the stationary mean ± 6 stationary standard deviations. *)

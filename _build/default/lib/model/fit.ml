@@ -1,0 +1,63 @@
+open Ssj_prob
+
+let residual_stddev series (p : Ar1.params) =
+  let n = Array.length series in
+  if n < 2 then invalid_arg "Fit.residual_stddev: need >= 2 points";
+  let acc = Stats.Online.create () in
+  for t = 1 to n - 1 do
+    let predicted = p.phi0 +. (p.phi1 *. series.(t - 1)) in
+    Stats.Online.add acc (series.(t) -. predicted)
+  done;
+  (* Residuals have (approximately) zero mean; report the raw RMS to match
+     the conditional-MLE sigma rather than the mean-adjusted one. *)
+  let m = Stats.Online.mean acc and v = Stats.Online.variance acc in
+  sqrt (v +. (m *. m))
+
+let ar1 series =
+  let n = Array.length series in
+  if n < 3 then invalid_arg "Fit.ar1: need >= 3 points";
+  let xs = Array.sub series 0 (n - 1) in
+  let ys = Array.sub series 1 (n - 1) in
+  let phi1, phi0 = Stats.linear_regression xs ys in
+  let p = { Ar1.phi0; phi1; sigma = 1.0 } in
+  { p with sigma = residual_stddev series p }
+
+let ar1_of_ints series = ar1 (Array.map float_of_int series)
+
+type arp = { mean : float; coeffs : float array; sigma : float }
+
+let yule_walker series ~order =
+  let n = Array.length series in
+  if order < 1 then invalid_arg "Fit.yule_walker: order < 1";
+  if n <= order + 1 then invalid_arg "Fit.yule_walker: series too short";
+  let mean = Stats.mean series in
+  let r = Array.init (order + 1) (fun k -> Stats.autocovariance series k) in
+  if r.(0) <= 0.0 then invalid_arg "Fit.yule_walker: constant series";
+  (* Levinson–Durbin recursion. *)
+  let phi = Array.make (order + 1) 0.0 in
+  let prev = Array.make (order + 1) 0.0 in
+  let e = ref r.(0) in
+  for k = 1 to order do
+    let acc = ref r.(k) in
+    for j = 1 to k - 1 do
+      acc := !acc -. (prev.(j) *. r.(k - j))
+    done;
+    let reflection = !acc /. !e in
+    phi.(k) <- reflection;
+    for j = 1 to k - 1 do
+      phi.(j) <- prev.(j) -. (reflection *. prev.(k - j))
+    done;
+    e := !e *. (1.0 -. (reflection *. reflection));
+    Array.blit phi 0 prev 0 (order + 1)
+  done;
+  {
+    mean;
+    coeffs = Array.sub phi 1 order;
+    sigma = sqrt (Float.max 0.0 !e);
+  }
+
+let aic series ~order =
+  let fit = yule_walker series ~order in
+  let n = float_of_int (Array.length series) in
+  (n *. log (Float.max 1e-300 (fit.sigma *. fit.sigma)))
+  +. (2.0 *. float_of_int order)

@@ -1,0 +1,9 @@
+let create ?(time = -1) ~trend ~noise () =
+  let pmf ~time ~last:_ delta =
+    if delta < 1 then invalid_arg "Linear_trend.pmf: delta < 1";
+    Ssj_prob.Pmf.shift noise (trend (time + delta))
+  in
+  Predictor.make ~name:"linear-trend" ~independent:true ~time ~pmf ()
+
+let linear ?time ~speed ~offset ~noise () =
+  create ?time ~trend:(fun t -> (speed * t) + offset) ~noise ()

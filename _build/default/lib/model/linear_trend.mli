@@ -1,0 +1,15 @@
+(** Trend-plus-noise streams — Sections 5.3 and 5.4.
+
+    [X_t = f(t) + Y_t] with a deterministic trend [f] and i.i.d. zero-mean
+    noise [Y].  TOWER / ROOF use bounded discretised normal noise, FLOOR
+    bounded uniform noise; all three use the linear trend
+    [f(t) = speed·t + offset].  Arbitrary trends are supported ([create]),
+    matching the paper's remark that the Section-5.3 analysis holds for any
+    non-decreasing [f]. *)
+
+val create : ?time:int -> trend:(int -> int) -> noise:Ssj_prob.Pmf.t -> unit -> Predictor.t
+
+val linear :
+  ?time:int -> speed:int -> offset:int -> noise:Ssj_prob.Pmf.t -> unit -> Predictor.t
+(** [linear ~speed ~offset ~noise ()] is [create] with
+    [f(t) = speed·t + offset]. *)

@@ -1,0 +1,68 @@
+open Ssj_prob
+
+type kernel = { lo : int; hi : int; row : int -> Pmf.t }
+
+let of_step ~step ~drift ~lo ~hi =
+  if lo > hi then invalid_arg "Markov.of_step: lo > hi";
+  { lo; hi; row = (fun x -> Pmf.shift step (x + drift)) }
+
+let of_ar1 ~phi0 ~phi1 ~sigma ~lo ~hi =
+  if lo > hi then invalid_arg "Markov.of_ar1: lo > hi";
+  let row x =
+    let mu = phi0 +. (phi1 *. float_of_int x) in
+    (* Support: mean ± 5 sigma, clipped to a sane integer window. *)
+    let spread = int_of_float (Float.ceil (5.0 *. sigma)) + 1 in
+    let center = int_of_float (Float.round mu) in
+    Dist.discretized_normal_mu ~mu ~sigma ~lo:(center - spread)
+      ~hi:(center + spread)
+  in
+  { lo; hi; row }
+
+(* Propagate a dense distribution over the window one step. *)
+let step_distribution k dist =
+  let n = k.hi - k.lo + 1 in
+  let next = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let p = dist.(i) in
+    if p > 0.0 then begin
+      let x = k.lo + i in
+      Pmf.iter (k.row x) (fun y q ->
+          if y >= k.lo && y <= k.hi then begin
+            let j = y - k.lo in
+            next.(j) <- next.(j) +. (p *. q)
+          end)
+    end
+  done;
+  next
+
+let first_passage k ~start ~target ~horizon =
+  if start < k.lo || start > k.hi then
+    invalid_arg "Markov.first_passage: start outside window";
+  if horizon < 0 then invalid_arg "Markov.first_passage: negative horizon";
+  let n = k.hi - k.lo + 1 in
+  let result = Array.make horizon 0.0 in
+  let dist = Array.make n 0.0 in
+  dist.(start - k.lo) <- 1.0;
+  let dist = ref dist in
+  for d = 1 to horizon do
+    dist := step_distribution k !dist;
+    if target >= k.lo && target <= k.hi then begin
+      let j = target - k.lo in
+      result.(d - 1) <- !dist.(j);
+      (* Taboo: remove mass that has hit the target. *)
+      !dist.(j) <- 0.0
+    end
+  done;
+  result
+
+let marginal k ~start ~horizon =
+  if start < k.lo || start > k.hi then
+    invalid_arg "Markov.marginal: start outside window";
+  if horizon < 1 then invalid_arg "Markov.marginal: horizon < 1";
+  let n = k.hi - k.lo + 1 in
+  let dist = Array.make n 0.0 in
+  dist.(start - k.lo) <- 1.0;
+  let dist = ref dist in
+  Array.init horizon (fun _ ->
+      dist := step_distribution k !dist;
+      Array.copy !dist)

@@ -1,0 +1,12 @@
+(** Random walk with drift — Section 5.5.
+
+    [X_t = drift + X_{t-1} + Y_t] with i.i.d. zero-mean integer steps [Y].
+    Conditioned on the last observed value [x_{t0}], the value at horizon
+    [Δt] is [x_{t0} + drift·Δt + (Δt-fold convolution of Y)]; we memoise
+    the convolution prefix in a shared {!Ssj_prob.Convolve.Table}. *)
+
+val create :
+  ?time:int -> ?window:int -> start:int -> drift:int -> step:Ssj_prob.Pmf.t -> unit -> Predictor.t
+(** [start] is the observed value at [time] (default time 0).  [window]
+    bounds the Markov-kernel truncation used for caching first-passage
+    queries (default 400 either side of the running value). *)

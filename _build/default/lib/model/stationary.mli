@@ -1,0 +1,7 @@
+(** Stationary, independent streams — Section 5.2.
+
+    A time-invariant pmf [p(v) = Pr{X_t = v}] for all [t].  Under this
+    model the framework proves PROB optimal for joining and LFU/A₀ optimal
+    for caching. *)
+
+val create : ?time:int -> Ssj_prob.Pmf.t -> Predictor.t

@@ -1,0 +1,1 @@
+lib/multi/multi.ml: Array Float Hashtbl Hvalue Int List Option Predictor Printf Ssj_core Ssj_model Ssj_prob

@@ -1,0 +1,1 @@
+lib/multi/multi.mli: Ssj_core Ssj_model Ssj_prob

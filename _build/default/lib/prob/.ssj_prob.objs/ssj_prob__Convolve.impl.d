@@ -1,0 +1,1 @@
+lib/prob/convolve.ml: Array Pmf

@@ -1,0 +1,1 @@
+lib/prob/convolve.mli: Pmf

@@ -1,0 +1,1 @@
+lib/prob/gof.ml: Hashtbl List Option Pmf Special

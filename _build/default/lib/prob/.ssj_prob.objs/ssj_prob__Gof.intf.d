@@ -1,0 +1,1 @@
+lib/prob/gof.mli: Pmf Rng

@@ -1,0 +1,1 @@
+lib/prob/pmf.ml: Array Float Format List Rng

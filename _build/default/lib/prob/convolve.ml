@@ -1,0 +1,36 @@
+let pair a b =
+  let la = Pmf.lo a and lb = Pmf.lo b in
+  let na = Pmf.hi a - la + 1 and nb = Pmf.hi b - lb + 1 in
+  let probs = Array.make (na + nb - 1) 0.0 in
+  Pmf.iter a (fun va pa ->
+      if pa > 0.0 then
+        Pmf.iter b (fun vb pb ->
+            let i = va + vb - la - lb in
+            probs.(i) <- probs.(i) +. (pa *. pb)));
+  Pmf.create ~lo:(la + lb) probs
+
+let nfold p n =
+  if n < 1 then invalid_arg "Convolve.nfold: n < 1";
+  let rec go acc k = if k = 1 then acc else go (pair acc p) (k - 1) in
+  go p n
+
+module Table = struct
+  type t = { step : Pmf.t; mutable levels : Pmf.t array }
+  (* levels.(i) is the (i+1)-fold convolution of step. *)
+
+  let create step = { step; levels = [| step |] }
+  let step t = t.step
+
+  let get t n =
+    if n < 1 then invalid_arg "Convolve.Table.get: n < 1";
+    let have = Array.length t.levels in
+    if n > have then begin
+      let grown = Array.make n t.step in
+      Array.blit t.levels 0 grown 0 have;
+      for i = have to n - 1 do
+        grown.(i) <- pair grown.(i - 1) t.step
+      done;
+      t.levels <- grown
+    end;
+    t.levels.(n - 1)
+end

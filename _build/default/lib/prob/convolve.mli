@@ -1,0 +1,22 @@
+(** Convolution of integer pmfs — the distribution of sums of independent
+    variables.  Random-walk predictors (Section 5.5) need the [Δt]-fold
+    convolution of the step distribution; [Table] memoises the whole
+    prefix sequence so a horizon-[n] query costs one direct convolution. *)
+
+val pair : Pmf.t -> Pmf.t -> Pmf.t
+(** [pair a b] is the pmf of [A + B] for independent [A ~ a], [B ~ b]. *)
+
+val nfold : Pmf.t -> int -> Pmf.t
+(** [nfold p n] is the pmf of the sum of [n ≥ 1] i.i.d. draws from [p]. *)
+
+module Table : sig
+  type t
+  (** Memoised prefix convolutions of a fixed step distribution. *)
+
+  val create : Pmf.t -> t
+  val step : t -> Pmf.t
+
+  val get : t -> int -> Pmf.t
+  (** [get tbl n] is the [n]-fold convolution ([n ≥ 1]); amortised O(support)
+      per new level. *)
+end

@@ -1,0 +1,60 @@
+let chi_square ~observed ~expected ~total =
+  if total <= 0 then invalid_arg "Gof.chi_square: empty sample";
+  (* Build per-support-point (observed, expected-count) cells in value
+     order, then pool cells with expected < 5 into the running cell. *)
+  let obs_at v =
+    match List.assoc_opt v observed with Some c -> c | None -> 0
+  in
+  let cells = ref [] in
+  let pool_obs = ref 0 and pool_exp = ref 0.0 in
+  Pmf.iter expected (fun v p ->
+      pool_obs := !pool_obs + obs_at v;
+      pool_exp := !pool_exp +. (p *. float_of_int total);
+      if !pool_exp >= 5.0 then begin
+        cells := (!pool_obs, !pool_exp) :: !cells;
+        pool_obs := 0;
+        pool_exp := 0.0
+      end);
+  (* Remaining tail pools into the last cell. *)
+  (if !pool_exp > 0.0 then begin
+     match !cells with
+     | (o, e) :: rest -> cells := (o + !pool_obs, e +. !pool_exp) :: rest
+     | [] -> cells := [ (!pool_obs, !pool_exp) ]
+   end);
+  let cells = !cells in
+  let stat =
+    List.fold_left
+      (fun acc (o, e) ->
+        if e <= 0.0 then acc
+        else begin
+          let d = float_of_int o -. e in
+          acc +. (d *. d /. e)
+        end)
+      0.0 cells
+  in
+  (stat, max 1 (List.length cells - 1))
+
+let chi_square_pvalue ~stat ~dof =
+  if dof < 1 then invalid_arg "Gof.chi_square_pvalue: dof < 1";
+  if stat <= 0.0 then 1.0
+  else begin
+    (* Wilson–Hilferty: (X/k)^(1/3) ~ N(1 - 2/(9k), 2/(9k)). *)
+    let k = float_of_int dof in
+    let z =
+      (((stat /. k) ** (1.0 /. 3.0)) -. (1.0 -. (2.0 /. (9.0 *. k))))
+      /. sqrt (2.0 /. (9.0 *. k))
+    in
+    1.0 -. Special.normal_cdf ~mu:0.0 ~sigma:1.0 z
+  end
+
+let sample_test ~rng ~draws ~sampler ~expected =
+  if draws < 1 then invalid_arg "Gof.sample_test: draws < 1";
+  let counts = Hashtbl.create 64 in
+  for _ = 1 to draws do
+    let v = sampler rng in
+    Hashtbl.replace counts v
+      (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  done;
+  let observed = Hashtbl.fold (fun v c acc -> (v, c) :: acc) counts [] in
+  let stat, dof = chi_square ~observed ~expected ~total:draws in
+  chi_square_pvalue ~stat ~dof

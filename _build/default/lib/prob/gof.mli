@@ -1,0 +1,21 @@
+(** Goodness-of-fit testing for the stream generators.
+
+    Pearson's chi-square statistic against a reference pmf, with a
+    Wilson–Hilferty normal approximation for the p-value — accurate to a
+    few 1e-3 for the degrees of freedom used here, which is plenty for
+    "is this sampler drawing from the pmf it claims" test assertions. *)
+
+val chi_square :
+  observed:(int * int) list -> expected:Pmf.t -> total:int -> float * int
+(** [chi_square ~observed ~expected ~total] where [observed] lists
+    (value, count) pairs summing to [total].  Returns (statistic, degrees
+    of freedom).  Support points with expected count below 5 are pooled
+    into their neighbour (standard practice); dof = #cells − 1. *)
+
+val chi_square_pvalue : stat:float -> dof:int -> float
+(** Upper-tail probability [Pr{χ²_dof ≥ stat}] (Wilson–Hilferty). *)
+
+val sample_test :
+  rng:Rng.t -> draws:int -> sampler:(Rng.t -> int) -> expected:Pmf.t -> float
+(** Draw [draws] samples and return the chi-square p-value against the
+    pmf — ready for [p > 0.001]-style assertions. *)

@@ -1,0 +1,150 @@
+type t = {
+  lo : int;
+  probs : float array; (* probs.(i) = Pr{X = lo + i}; normalised *)
+}
+
+let check_weights probs =
+  if Array.length probs = 0 then invalid_arg "Pmf.create: empty support";
+  Array.iter
+    (fun w ->
+      if not (Float.is_finite w) || w < 0.0 then
+        invalid_arg "Pmf.create: weights must be finite and non-negative")
+    probs
+
+let create ~lo probs =
+  check_weights probs;
+  let sum = Array.fold_left ( +. ) 0.0 probs in
+  if sum <= 0.0 then invalid_arg "Pmf.create: zero total mass";
+  { lo; probs = Array.map (fun w -> w /. sum) probs }
+
+let of_assoc pairs =
+  match pairs with
+  | [] -> invalid_arg "Pmf.of_assoc: empty"
+  | (v0, _) :: _ ->
+    let lo = List.fold_left (fun acc (v, _) -> min acc v) v0 pairs in
+    let hi = List.fold_left (fun acc (v, _) -> max acc v) v0 pairs in
+    let probs = Array.make (hi - lo + 1) 0.0 in
+    List.iter (fun (v, w) -> probs.(v - lo) <- probs.(v - lo) +. w) pairs;
+    create ~lo probs
+
+let point v = { lo = v; probs = [| 1.0 |] }
+let lo t = t.lo
+let hi t = t.lo + Array.length t.probs - 1
+
+let prob t v =
+  let i = v - t.lo in
+  if i < 0 || i >= Array.length t.probs then 0.0 else t.probs.(i)
+
+let total t = Array.fold_left ( +. ) 0.0 t.probs
+
+let mean t =
+  let acc = ref 0.0 in
+  Array.iteri (fun i p -> acc := !acc +. (float_of_int (t.lo + i) *. p)) t.probs;
+  !acc
+
+let variance t =
+  let m = mean t in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i p ->
+      let d = float_of_int (t.lo + i) -. m in
+      acc := !acc +. (d *. d *. p))
+    t.probs;
+  !acc
+
+let stddev t = sqrt (variance t)
+
+let cdf t v =
+  if v < t.lo then 0.0
+  else begin
+    let stop = min (v - t.lo) (Array.length t.probs - 1) in
+    let acc = ref 0.0 in
+    for i = 0 to stop do
+      acc := !acc +. t.probs.(i)
+    done;
+    !acc
+  end
+
+let interval_prob t ~lo:l ~hi:h =
+  if l > h then 0.0
+  else begin
+    let l = max l t.lo and h = min h (hi t) in
+    let acc = ref 0.0 in
+    for v = l to h do
+      acc := !acc +. t.probs.(v - t.lo)
+    done;
+    !acc
+  end
+
+let shift t d = { t with lo = t.lo + d }
+
+let negate t =
+  let n = Array.length t.probs in
+  let probs = Array.init n (fun i -> t.probs.(n - 1 - i)) in
+  { lo = -(t.lo + n - 1); probs }
+
+let map_outcomes t f =
+  let pairs = ref [] in
+  Array.iteri
+    (fun i p -> if p > 0.0 then pairs := (f (t.lo + i), p) :: !pairs)
+    t.probs;
+  of_assoc !pairs
+
+let sample t rng =
+  let u = Rng.float rng 1.0 in
+  let n = Array.length t.probs in
+  let rec walk i acc =
+    if i >= n - 1 then t.lo + n - 1
+    else
+      let acc = acc +. t.probs.(i) in
+      if u < acc then t.lo + i else walk (i + 1) acc
+  in
+  walk 0 0.0
+
+let fold t ~init ~f =
+  let acc = ref init in
+  Array.iteri (fun i p -> acc := f !acc (t.lo + i) p) t.probs;
+  !acc
+
+let iter t f = Array.iteri (fun i p -> f (t.lo + i) p) t.probs
+
+let to_alist t =
+  fold t ~init:[] ~f:(fun acc v p -> (v, p) :: acc) |> List.rev
+
+let truncate t ~lo:l ~hi:h =
+  let l = max l t.lo and h = min h (hi t) in
+  if l > h then None
+  else begin
+    let probs = Array.sub t.probs (l - t.lo) (h - l + 1) in
+    let sum = Array.fold_left ( +. ) 0.0 probs in
+    if sum <= 0.0 then None else Some (create ~lo:l probs)
+  end
+
+let mix weighted =
+  let pairs =
+    List.concat_map
+      (fun (w, t) ->
+        if w < 0.0 then invalid_arg "Pmf.mix: negative weight";
+        fold t ~init:[] ~f:(fun acc v p -> (v, w *. p) :: acc))
+      weighted
+  in
+  of_assoc pairs
+
+let dot a b =
+  (* Iterate over the smaller support. *)
+  let a, b = if Array.length a.probs <= Array.length b.probs then (a, b) else (b, a) in
+  fold a ~init:0.0 ~f:(fun acc v p -> acc +. (p *. prob b v))
+
+let equal ?(eps = 1e-9) a b =
+  let l = min a.lo b.lo and h = max (hi a) (hi b) in
+  let rec check v =
+    if v > h then true
+    else if Float.abs (prob a v -. prob b v) > eps then false
+    else check (v + 1)
+  in
+  check l
+
+let pp ppf t =
+  Format.fprintf ppf "@[<hov 2>pmf{";
+  iter t (fun v p -> if p > 1e-12 then Format.fprintf ppf "@ %d:%.4g" v p);
+  Format.fprintf ppf "@ }@]"

@@ -1,0 +1,81 @@
+(** Finite probability mass functions over the integers.
+
+    A [Pmf.t] stores probabilities on a contiguous integer support
+    [\[lo, hi\]]; values outside the support have probability 0.  All
+    constructors normalise, so every value of type [t] sums to 1 (up to
+    floating-point rounding, which [total] lets tests check).
+
+    This is the value-domain representation used throughout the paper: join
+    attributes are discrete, and every stream model answers queries of the
+    form "probability that the attribute equals [v] at horizon [Δt]" with a
+    [Pmf.t]. *)
+
+type t
+
+val create : lo:int -> float array -> t
+(** [create ~lo probs] builds the pmf with [Pr{X = lo + i} = probs.(i)]
+    (after normalisation).  Raises [Invalid_argument] if [probs] is empty,
+    contains a negative or non-finite weight, or sums to 0. *)
+
+val of_assoc : (int * float) list -> t
+(** Build from (value, weight) pairs; weights for equal values accumulate. *)
+
+val point : int -> t
+(** Point mass at a value. *)
+
+val lo : t -> int
+val hi : t -> int
+(** Inclusive support bounds. *)
+
+val prob : t -> int -> float
+(** [prob p v] is [Pr{X = v}]; 0 outside the support. *)
+
+val total : t -> float
+(** Sum of all stored probabilities (≈ 1). *)
+
+val mean : t -> float
+val variance : t -> float
+val stddev : t -> float
+
+val cdf : t -> int -> float
+(** [cdf p v] is [Pr{X ≤ v}]. *)
+
+val interval_prob : t -> lo:int -> hi:int -> float
+(** [Pr{lo ≤ X ≤ hi}]; 0 when [lo > hi].  Used by band-join benefits. *)
+
+val shift : t -> int -> t
+(** [shift p d] is the pmf of [X + d]. *)
+
+val negate : t -> t
+(** Pmf of [-X]. *)
+
+val map_outcomes : t -> (int -> int) -> t
+(** Pmf of [f X] (probabilities of colliding outcomes accumulate). *)
+
+val sample : t -> Rng.t -> int
+(** Draw from the pmf by inverse-cdf walk. *)
+
+val fold : t -> init:'a -> f:('a -> int -> float -> 'a) -> 'a
+(** Fold over [(value, probability)] pairs of the support, ascending. *)
+
+val iter : t -> (int -> float -> unit) -> unit
+
+val to_alist : t -> (int * float) list
+(** Support as an ascending association list (zero entries included). *)
+
+val truncate : t -> lo:int -> hi:int -> t option
+(** Restrict to [\[lo, hi\]] and renormalise; [None] if no mass remains. *)
+
+val mix : (float * t) list -> t
+(** Mixture distribution; weights normalised. *)
+
+val dot : t -> t -> float
+(** [dot a b] = [Σ_v Pr{A = v}·Pr{B = v}] — the probability that two
+    independent draws coincide.  This is the expected benefit of keeping an
+    *undetermined* tuple in FlowExpect's flow graph (Section 3.1). *)
+
+val equal : ?eps:float -> t -> t -> bool
+(** Pointwise comparison over the union of supports, tolerance [eps]
+    (default [1e-9]). *)
+
+val pp : Format.formatter -> t -> unit

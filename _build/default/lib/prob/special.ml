@@ -1,0 +1,20 @@
+let erf x =
+  (* Abramowitz & Stegun 7.1.26. *)
+  let sign = if x < 0.0 then -1.0 else 1.0 in
+  let x = Float.abs x in
+  let t = 1.0 /. (1.0 +. (0.3275911 *. x)) in
+  let poly =
+    t
+    *. (0.254829592
+       +. (t
+          *. (-0.284496736
+             +. (t *. (1.421413741 +. (t *. (-1.453152027 +. (t *. 1.061405429))))))))
+  in
+  sign *. (1.0 -. (poly *. exp (-.x *. x)))
+
+let normal_cdf ~mu ~sigma x =
+  0.5 *. (1.0 +. erf ((x -. mu) /. (sigma *. sqrt 2.0)))
+
+let normal_pdf ~mu ~sigma x =
+  let z = (x -. mu) /. sigma in
+  exp (-0.5 *. z *. z) /. (sigma *. sqrt (2.0 *. Float.pi))

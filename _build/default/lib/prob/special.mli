@@ -1,0 +1,11 @@
+(** Special functions needed by the distribution constructors. *)
+
+val erf : float -> float
+(** Error function, Abramowitz–Stegun 7.1.26 approximation
+    (absolute error < 1.5e-7, adequate for pmf discretisation). *)
+
+val normal_cdf : mu:float -> sigma:float -> float -> float
+(** CDF of N(mu, sigma²). *)
+
+val normal_pdf : mu:float -> sigma:float -> float -> float
+(** Density of N(mu, sigma²). *)

@@ -1,0 +1,79 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = ref 0.0 in
+    Array.iter
+      (fun x ->
+        let d = x -. m in
+        acc := !acc +. (d *. d))
+      xs;
+    !acc /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let percentile xs q =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.percentile: q outside [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let pos = q *. float_of_int (n - 1) in
+  let i = int_of_float (Float.floor pos) in
+  if i >= n - 1 then sorted.(n - 1)
+  else begin
+    let frac = pos -. float_of_int i in
+    (sorted.(i) *. (1.0 -. frac)) +. (sorted.(i + 1) *. frac)
+  end
+
+let autocovariance xs k =
+  let n = Array.length xs in
+  if k < 0 || k >= n then invalid_arg "Stats.autocovariance: bad lag";
+  let m = mean xs in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 - k do
+    acc := !acc +. ((xs.(i) -. m) *. (xs.(i + k) -. m))
+  done;
+  !acc /. float_of_int n
+
+let autocorrelation xs k =
+  let c0 = autocovariance xs 0 in
+  if c0 <= 0.0 then 0.0 else autocovariance xs k /. c0
+
+let linear_regression xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Stats.linear_regression: lengths";
+  if n < 2 then invalid_arg "Stats.linear_regression: need >= 2 points";
+  let mx = mean xs and my = mean ys in
+  let sxx = ref 0.0 and sxy = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx in
+    sxx := !sxx +. (dx *. dx);
+    sxy := !sxy +. (dx *. (ys.(i) -. my))
+  done;
+  if !sxx <= 0.0 then invalid_arg "Stats.linear_regression: constant predictor";
+  let slope = !sxy /. !sxx in
+  (slope, my -. (slope *. mx))
+
+module Online = struct
+  type t = { mutable n : int; mutable mu : float; mutable m2 : float }
+
+  let create () = { n = 0; mu = 0.0; m2 = 0.0 }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mu in
+    t.mu <- t.mu +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mu))
+
+  let count t = t.n
+  let mean t = t.mu
+  let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+  let stddev t = sqrt (variance t)
+end

@@ -1,0 +1,35 @@
+(** Scalar statistics over float samples: summaries used by the experiment
+    runner (per-run averages, variability reporting) and by the AR(1)
+    fitting code. *)
+
+val mean : float array -> float
+val variance : float array -> float
+(** Unbiased sample variance (n−1 denominator); 0 for fewer than 2 samples. *)
+
+val stddev : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs q] for [q] in [0,1], linear interpolation between order
+    statistics.  Does not mutate its argument. *)
+
+val autocovariance : float array -> int -> float
+(** Lag-[k] autocovariance (biased, n denominator), around the sample mean. *)
+
+val autocorrelation : float array -> int -> float
+
+val linear_regression : float array -> float array -> float * float
+(** [linear_regression xs ys] returns [(slope, intercept)] of the
+    least-squares line; raises [Invalid_argument] on length mismatch or a
+    degenerate (constant) predictor. *)
+
+module Online : sig
+  type t
+  (** Welford's online mean/variance accumulator. *)
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  val stddev : t -> float
+end

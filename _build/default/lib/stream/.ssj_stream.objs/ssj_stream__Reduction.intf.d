@@ -1,0 +1,1 @@
+lib/stream/reduction.mli: Trace

@@ -1,0 +1,1 @@
+lib/stream/trace.ml: Array Ssj_model Ssj_prob Tuple

@@ -1,0 +1,1 @@
+lib/stream/trace.mli: Ssj_model Ssj_prob Tuple

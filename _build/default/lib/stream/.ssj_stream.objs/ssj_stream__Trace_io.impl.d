@@ -1,0 +1,1 @@
+lib/stream/trace_io.ml: Array Fun List Printf String Trace

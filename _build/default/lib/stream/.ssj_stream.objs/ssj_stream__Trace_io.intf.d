@@ -1,0 +1,1 @@
+lib/stream/trace_io.mli: Trace

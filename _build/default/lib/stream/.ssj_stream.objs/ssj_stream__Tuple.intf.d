@@ -1,0 +1,1 @@
+lib/stream/tuple.mli: Format

@@ -1,0 +1,1 @@
+lib/stream/window.ml: Tuple

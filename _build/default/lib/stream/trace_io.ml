@@ -1,0 +1,56 @@
+let header = "time,r_value,s_value"
+
+let to_channel trace oc =
+  output_string oc header;
+  output_char oc '\n';
+  let n = Trace.length trace in
+  for t = 0 to n - 1 do
+    Printf.fprintf oc "%d,%d,%d\n" t trace.Trace.r_values.(t)
+      trace.Trace.s_values.(t)
+  done
+
+let save trace ~filename =
+  let oc = open_out filename in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> to_channel trace oc)
+
+let parse_line ~lineno line =
+  match String.split_on_char ',' (String.trim line) with
+  | [ t; r; s ] -> (
+    try (int_of_string t, int_of_string r, int_of_string s)
+    with Failure _ ->
+      failwith (Printf.sprintf "Trace_io: non-integer field on line %d" lineno))
+  | _ -> failwith (Printf.sprintf "Trace_io: expected 3 fields on line %d" lineno)
+
+let of_channel ic =
+  let first = try input_line ic with End_of_file -> "" in
+  if String.trim first <> header then
+    failwith
+      (Printf.sprintf "Trace_io: expected header %S, found %S" header first);
+  let rs = ref [] and ss = ref [] in
+  let count = ref 0 in
+  let lineno = ref 1 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if String.trim line <> "" then begin
+         let t, r, s = parse_line ~lineno:!lineno line in
+         if t <> !count then
+           failwith
+             (Printf.sprintf "Trace_io: time %d out of order on line %d" t
+                !lineno);
+         incr count;
+         rs := r :: !rs;
+         ss := s :: !ss
+       end
+     done
+   with End_of_file -> ());
+  Trace.of_values
+    ~r:(Array.of_list (List.rev !rs))
+    ~s:(Array.of_list (List.rev !ss))
+
+let load ~filename =
+  let ic = open_in filename in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> of_channel ic)

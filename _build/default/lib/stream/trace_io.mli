@@ -1,0 +1,16 @@
+(** CSV persistence for traces.
+
+    Lets experiment runs be archived, diffed and replayed exactly: one
+    line per time step, `time,r_value,s_value`, with a fixed header.
+    Round-tripping is loss-free (property-tested). *)
+
+val save : Trace.t -> filename:string -> unit
+val to_channel : Trace.t -> out_channel -> unit
+
+val load : filename:string -> Trace.t
+(** Raises [Failure] with a line-numbered message on malformed input. *)
+
+val of_channel : in_channel -> Trace.t
+
+val header : string
+(** The expected first line: ["time,r_value,s_value"]. *)

@@ -1,0 +1,10 @@
+type t = { width : int }
+
+let create ~width =
+  if width < 0 then invalid_arg "Window.create: negative width";
+  { width }
+
+let width t = t.width
+let inside t ~now tuple = tuple.Tuple.arrival >= now - t.width
+let remaining_lifetime t ~now tuple = tuple.Tuple.arrival + t.width - now
+let unbounded = { width = max_int / 4 }

@@ -1,0 +1,1 @@
+lib/workload/config.ml: Dist Linear_trend Pmf Printf Random_walk Ssj_core Ssj_model Ssj_prob Ssj_stream

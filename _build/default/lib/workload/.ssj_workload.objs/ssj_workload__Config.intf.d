@@ -1,0 +1,1 @@
+lib/workload/config.mli: Ssj_core Ssj_model Ssj_prob

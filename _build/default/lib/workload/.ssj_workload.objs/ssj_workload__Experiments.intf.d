@@ -1,0 +1,1 @@
+lib/workload/experiments.mli: Format Ssj_core Ssj_model

@@ -1,0 +1,1 @@
+lib/workload/factory.ml: Baselines Classic Config Float Flow_expect Heeb Interp Lfun Policy Precompute Rng Ssj_core Ssj_model Ssj_prob

@@ -1,0 +1,1 @@
+lib/workload/factory.mli: Config Ssj_core Ssj_model

@@ -1,0 +1,1 @@
+lib/workload/real.ml: Ar1 Array Float Rng Ssj_model Ssj_prob

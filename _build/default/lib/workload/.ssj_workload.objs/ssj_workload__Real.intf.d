@@ -1,0 +1,1 @@
+lib/workload/real.mli: Ssj_model Ssj_prob

@@ -1,0 +1,108 @@
+open Ssj_prob
+open Ssj_model
+
+type trend = {
+  label : string;
+  speed : int;
+  r_offset : int;
+  s_offset : int;
+  r_noise : Pmf.t;
+  s_noise : Pmf.t;
+  alpha_lifetime : float;
+}
+
+let normal_noise ~sigma ~bound = Dist.discretized_normal ~sigma ~bound
+
+let tower ?(r_lag = 1) ?(s_sigma_mult = 1.0) () =
+  let sigma_r = 1.0 and sigma_s = 2.0 *. s_sigma_mult in
+  {
+    label =
+      (if r_lag = 1 && s_sigma_mult = 1.0 then "TOWER"
+       else Printf.sprintf "TOWER(lag=%d,sx%.0f)" r_lag s_sigma_mult);
+    speed = 1;
+    r_offset = -r_lag;
+    s_offset = 0;
+    r_noise = normal_noise ~sigma:sigma_r ~bound:10;
+    s_noise = normal_noise ~sigma:sigma_s ~bound:15;
+    (* Section 5.4: lifetime ≈ time for f(t) to rise by 2 noise stddevs. *)
+    alpha_lifetime = max 1.5 (sigma_r +. sigma_s);
+  }
+
+let roof () =
+  {
+    label = "ROOF";
+    speed = 1;
+    r_offset = -1;
+    s_offset = 0;
+    r_noise = normal_noise ~sigma:3.3 ~bound:10;
+    s_noise = normal_noise ~sigma:5.0 ~bound:15;
+    alpha_lifetime = 3.3 +. 5.0;
+  }
+
+let floor () =
+  {
+    label = "FLOOR";
+    speed = 1;
+    r_offset = -1;
+    s_offset = 0;
+    r_noise = Dist.uniform ~lo:(-10) ~hi:10;
+    s_noise = Dist.uniform ~lo:(-15) ~hi:15;
+    (* Section 5.3: lifetime ≈ (w_R + w_S) / 2. *)
+    alpha_lifetime = float_of_int (10 + 15) /. 2.0;
+  }
+
+let tower_sym ?(r_lag = 0) ?(s_sigma_mult = 1.0) () =
+  let sigma = 2.0 in
+  let sigma_s = sigma *. s_sigma_mult in
+  {
+    label = Printf.sprintf "TOWER-SYM(lag=%d,sx%.0f)" r_lag s_sigma_mult;
+    speed = 1;
+    r_offset = -r_lag;
+    s_offset = 0;
+    r_noise = normal_noise ~sigma ~bound:15;
+    s_noise = normal_noise ~sigma:sigma_s ~bound:15;
+    alpha_lifetime = max 1.5 (sigma +. sigma_s);
+  }
+
+let predictors cfg =
+  let r =
+    Linear_trend.linear ~time:(-1) ~speed:cfg.speed ~offset:cfg.r_offset
+      ~noise:cfg.r_noise ()
+  in
+  let s =
+    Linear_trend.linear ~time:(-1) ~speed:cfg.speed ~offset:cfg.s_offset
+      ~noise:cfg.s_noise ()
+  in
+  (r, s)
+
+let lifetime cfg ~now (t : Ssj_stream.Tuple.t) =
+  (* A tuple joins the partner stream while the partner's noise window
+     [f_p(t) − w_p, f_p(t) + w_p] still covers its value. *)
+  let partner_offset, partner_bound =
+    match t.Ssj_stream.Tuple.side with
+    | Ssj_stream.Tuple.R -> (cfg.s_offset, Pmf.hi cfg.s_noise)
+    | Ssj_stream.Tuple.S -> (cfg.r_offset, Pmf.hi cfg.r_noise)
+  in
+  (* Last time t' with value >= f_p(t') − w_p, for f_p(t) = speed·t + off. *)
+  let latest =
+    (t.Ssj_stream.Tuple.value + partner_bound - partner_offset) / cfg.speed
+  in
+  latest - now
+
+let alpha cfg = Ssj_core.Lfun.alpha_for_lifetime cfg.alpha_lifetime
+
+type walk = { wlabel : string; step : Pmf.t; drift : int; start : int }
+
+let walk ?(drift = 0) () =
+  {
+    wlabel = (if drift = 0 then "WALK" else Printf.sprintf "WALK(drift=%d)" drift);
+    step = Dist.discretized_normal ~sigma:1.0 ~bound:5;
+    drift;
+    start = 0;
+  }
+
+let walk_predictors w =
+  let mk () =
+    Random_walk.create ~time:(-1) ~start:w.start ~drift:w.drift ~step:w.step ()
+  in
+  (mk (), mk ())

@@ -1,0 +1,60 @@
+(** The paper's synthetic experiment configurations — Section 6.1.
+
+    TOWER, ROOF and FLOOR: streams [R] and [S] with identical linear
+    trends drifting at speed 1, [R] lagging one step behind [S]; noise is
+    bounded and zero-mean, over [−10,10] for [R] and [−15,15] for [S]:
+
+    - TOWER: discretised normal, σ = 1 (R) and 2 (S);
+    - ROOF:  discretised normal, σ = 3.3 (R) and 5 (S);
+    - FLOOR: uniform (Figure 7 shows the three S-noise shapes).
+
+    WALK: two independent random walks with discretised N(0,1) steps and
+    no drift.
+
+    The Figure 14/17/18 variants change [R]'s lag or scale [S]'s noise
+    standard deviation. *)
+
+type trend = {
+  label : string;
+  speed : int;
+  r_offset : int;  (** trend intercept of R: f_R(t) = speed·t + r_offset *)
+  s_offset : int;
+  r_noise : Ssj_prob.Pmf.t;
+  s_noise : Ssj_prob.Pmf.t;
+  alpha_lifetime : float;
+      (** the paper's rough average-lifetime estimate feeding [α] *)
+}
+
+val tower : ?r_lag:int -> ?s_sigma_mult:float -> unit -> trend
+val roof : unit -> trend
+val floor : unit -> trend
+
+val tower_sym : ?r_lag:int -> ?s_sigma_mult:float -> unit -> trend
+(** The Figure 14/17/18 baseline: R and S have *identical* statistical
+    properties (σ = 2 bounded normal on [−15,15]) and no lag; [r_lag] and
+    [s_sigma_mult] then perturb one stream at a time. *)
+
+val predictors : trend -> Ssj_model.Predictor.t * Ssj_model.Predictor.t
+(** Both stream models, positioned before the first arrival (time −1). *)
+
+val lifetime : trend -> Ssj_core.Baselines.lifetime
+(** Remaining steps before the partner's noise window moves past the
+    tuple — the "sliding window" that Section 6.2 gives RAND, PROB and
+    LIFE for the trend configurations. *)
+
+val alpha : trend -> float
+(** The paper's [α] choice: average-lifetime estimate — [(w_R + w_S)/2]
+    for uniform noise (Section 5.3), time-to-drift-2σ for normal noise
+    (Section 5.4) — pushed through {!Ssj_core.Lfun.alpha_for_lifetime}. *)
+
+type walk = {
+  wlabel : string;
+  step : Ssj_prob.Pmf.t;
+  drift : int;
+  start : int;
+}
+
+val walk : ?drift:int -> unit -> walk
+(** Discretised N(0,1) steps (bounded at ±5), start value 0. *)
+
+val walk_predictors : walk -> Ssj_model.Predictor.t * Ssj_model.Predictor.t

@@ -1,0 +1,962 @@
+open Ssj_prob
+open Ssj_model
+open Ssj_stream
+open Ssj_core
+open Ssj_engine
+
+type opts = {
+  runs : int;
+  length : int;
+  seed : int;
+  capacity : int;
+  sweep : int list;
+  real_sizes : int list;
+  fe_runs : int;
+  fe_length : int;
+  fe_lookahead : int;
+  fe_sweep : int list;
+}
+
+let default =
+  {
+    (* Paper scale: 50 independent runs of 5000-tuple streams. *)
+    runs = 50;
+    length = 5000;
+    seed = 42;
+    capacity = 10;
+    sweep = [ 1; 2; 5; 10; 15; 20; 30; 40; 50 ];
+    real_sizes = [ 10; 25; 50; 100; 200; 300 ];
+    (* FlowExpect solves a min-cost flow per step; the paper itself keeps
+       its look-ahead study at length 500 / memory 20 (Section 6.4). *)
+    fe_runs = 3;
+    fe_length = 500;
+    fe_lookahead = 5;
+    fe_sweep = [ 1; 2; 3; 5; 8; 12; 16; 20; 25; 30 ];
+  }
+
+let std = Format.std_formatter
+
+(* --- shared helpers ------------------------------------------------ *)
+
+let trend_traces cfg ~runs ~length ~seed =
+  Array.init runs (fun i ->
+      let r, s = Config.predictors cfg in
+      Trace.generate ~r ~s ~rng:(Rng.create (seed + (1009 * i))) ~length)
+
+let walk_traces w ~runs ~length ~seed =
+  Array.init runs (fun i ->
+      let r, s = Config.walk_predictors w in
+      Trace.generate ~r ~s ~rng:(Rng.create (seed + (1009 * i))) ~length)
+
+let setup ~capacity =
+  {
+    Runner.capacity;
+    warmup = Runner.default_warmup ~capacity;
+    window = None;
+  }
+
+(* --- Figure 6 ------------------------------------------------------ *)
+
+let fig6 ?(out = std) opts =
+  let alpha = float_of_int opts.capacity in
+  let l = Lfun.exp_ ~alpha in
+  let step = Dist.discretized_normal ~sigma:1.0 ~bound:5 in
+  let lo = -20 and hi = 20 in
+  let curves =
+    List.map
+      (fun drift ->
+        ( Printf.sprintf "drift=%d" drift,
+          Precompute.walk_caching_curve ~step ~drift ~l ~lo ~hi () ))
+      [ 0; 2; 4 ]
+  in
+  let xs = List.init (hi - lo + 1) (fun i -> string_of_int (lo + i)) in
+  let columns =
+    List.map
+      (fun (label, curve) ->
+        ( label,
+          Array.init (hi - lo + 1) (fun i ->
+              Interp.Curve.eval curve (float_of_int (lo + i))) ))
+      curves
+  in
+  Format.fprintf out
+    "@.[fig6] h_R(v_x - x_t0) for random-walk caching, N(0,1) steps, \
+     L_exp(alpha=%g); larger drift favours tuples to the right.@."
+    alpha;
+  let columns =
+    List.map (fun (l, c) -> (l, Array.map (fun v -> v *. 1000.0) c)) columns
+  in
+  Table.series ~out ~title:"Figure 6: precomputed h_R (x1000)"
+    ~x_label:"vx-xt0" ~xs ~columns ()
+
+(* --- Figure 7 ------------------------------------------------------ *)
+
+let fig7 ?(out = std) () =
+  let tower = (Config.tower ()).Config.s_noise in
+  let roof = (Config.roof ()).Config.s_noise in
+  let floor = (Config.floor ()).Config.s_noise in
+  let lo = -15 and hi = 15 in
+  let xs = List.init (hi - lo + 1) (fun i -> string_of_int (lo + i)) in
+  let col label pmf =
+    (label, Array.init (hi - lo + 1) (fun i -> Pmf.prob pmf (lo + i)))
+  in
+  Format.fprintf out
+    "@.[fig7] S-noise pmfs of the three trend configurations.@.";
+  Table.series ~out ~decimals:4 ~title:"Figure 7: TOWER/ROOF/FLOOR noise pmfs"
+    ~x_label:"value"
+    ~xs
+    ~columns:[ col "TOWER" tower; col "ROOF" roof; col "FLOOR" floor ]
+    ()
+
+(* --- Figure 8 ------------------------------------------------------ *)
+
+let trend_configs () = [ Config.tower (); Config.roof (); Config.floor () ]
+
+let fig8 ?(out = std) opts =
+  let capacity = opts.capacity in
+  Format.fprintf out
+    "@.[fig8] Average join counts, cache=%d, %d runs x %d tuples \
+     (paper: 50 x 5000).@."
+    capacity opts.runs opts.length;
+  let policy_order = [ "OPT-OFFLINE"; "RAND"; "PROB"; "LIFE"; "HEEB" ] in
+  let rows =
+    List.map
+      (fun cfg ->
+        let traces =
+          trend_traces cfg ~runs:opts.runs ~length:opts.length ~seed:opts.seed
+        in
+        let summaries =
+          Runner.compare_joining ~setup:(setup ~capacity) ~traces
+            ~policies:(Factory.trend_policies cfg ~seed:opts.seed ()) ()
+        in
+        (cfg.Config.label, summaries))
+      (trend_configs ())
+  in
+  let walk = Config.walk () in
+  let walk_summaries =
+    let traces =
+      walk_traces walk ~runs:opts.runs ~length:opts.length ~seed:opts.seed
+    in
+    Runner.compare_joining ~setup:(setup ~capacity) ~traces
+      ~policies:(Factory.walk_policies walk ~seed:opts.seed ~capacity) ()
+  in
+  let rows = rows @ [ (walk.Config.wlabel, walk_summaries) ] in
+  let cell summaries name =
+    match List.find_opt (fun s -> s.Runner.label = name) summaries with
+    | Some s -> Table.float_cell s.Runner.mean
+    | None -> "-"
+  in
+  Table.print ~out
+    ~header:("config" :: policy_order)
+    (List.map
+       (fun (label, summaries) ->
+         label :: List.map (cell summaries) policy_order)
+       rows);
+  (* FlowExpect block at reduced scale (it solves a flow per step). *)
+  Format.fprintf out
+    "@.[fig8/FE] FlowExpect block at reduced scale: %d runs x %d tuples, \
+     lookahead %d.@."
+    opts.fe_runs opts.fe_length opts.fe_lookahead;
+  let fe_order = [ "OPT-OFFLINE"; "FLOWEXPECT"; "RAND"; "PROB"; "LIFE"; "HEEB" ] in
+  let fe_rows =
+    List.map
+      (fun cfg ->
+        let traces =
+          trend_traces cfg ~runs:opts.fe_runs ~length:opts.fe_length
+            ~seed:(opts.seed + 7)
+        in
+        let policies =
+          Factory.trend_policies cfg ~seed:opts.seed ()
+          @ [
+              ( "FLOWEXPECT",
+                Factory.trend_flow_expect cfg ~lookahead:opts.fe_lookahead );
+            ]
+        in
+        let summaries =
+          Runner.compare_joining ~setup:(setup ~capacity) ~traces ~policies ()
+        in
+        (cfg.Config.label, summaries))
+      (trend_configs ())
+  in
+  let walk_fe =
+    let traces =
+      walk_traces walk ~runs:opts.fe_runs ~length:opts.fe_length
+        ~seed:(opts.seed + 7)
+    in
+    let policies =
+      Factory.walk_policies walk ~seed:opts.seed ~capacity
+      @ [
+          ("FLOWEXPECT", Factory.walk_flow_expect walk ~lookahead:opts.fe_lookahead);
+        ]
+    in
+    Runner.compare_joining ~setup:(setup ~capacity) ~traces ~policies ()
+  in
+  let fe_rows = fe_rows @ [ (walk.Config.wlabel, walk_fe) ] in
+  Table.print ~out
+    ~header:("config" :: fe_order)
+    (List.map
+       (fun (label, summaries) -> label :: List.map (cell summaries) fe_order)
+       fe_rows)
+
+(* --- Figures 9-12 --------------------------------------------------- *)
+
+(* Cache-size sweeps use one fixed warm-up — 4 × the largest size, which
+   satisfies the paper's "no less than four times the cache size" rule
+   for every point — so that (a) every point counts over the same window
+   and (b) OPT-offline comes from a single optimum-vs-capacity curve
+   solve per trace instead of one solve per point. *)
+let sweep_figure ?(out = std) ~title ~policies_for ~traces opts =
+  let sizes = opts.sweep in
+  let warmup = Runner.default_warmup ~capacity:(List.fold_left max 1 sizes) in
+  let opt_column =
+    let per_run =
+      Array.map
+        (fun trace ->
+          Opt_offline.max_results_curve ~trace ~capacities:sizes ~start:warmup
+            ())
+        traces
+    in
+    Array.of_list
+      (List.mapi
+         (fun i _ ->
+           Ssj_prob.Stats.mean
+             (Array.map (fun curve -> float_of_int (snd (List.nth curve i)))
+                per_run))
+         sizes)
+  in
+  let labels = ref [] in
+  let results =
+    List.map
+      (fun capacity ->
+        let summaries =
+          Runner.compare_joining
+            ~setup:{ Runner.capacity; warmup; window = None }
+            ~traces
+            ~policies:(policies_for capacity)
+            ~include_opt:false ()
+        in
+        if !labels = [] then
+          labels := List.map (fun s -> s.Runner.label) summaries;
+        (capacity, summaries))
+      sizes
+  in
+  let columns =
+    ("OPT-OFFLINE", opt_column)
+    :: List.map
+         (fun label ->
+           ( label,
+             Array.of_list
+               (List.map
+                  (fun (_, summaries) ->
+                    match
+                      List.find_opt (fun s -> s.Runner.label = label) summaries
+                    with
+                    | Some s -> s.Runner.mean
+                    | None -> Float.nan)
+                  results) ))
+         !labels
+  in
+  Table.series ~out ~title ~x_label:"memory"
+    ~xs:(List.map string_of_int sizes)
+    ~columns ()
+
+let trend_sweep ?(out = std) cfg opts ~figure =
+  Format.fprintf out
+    "@.[%s] %s: cache-size sweep, %d runs x %d tuples.@." figure
+    cfg.Config.label opts.runs opts.length;
+  let traces =
+    trend_traces cfg ~runs:opts.runs ~length:opts.length ~seed:opts.seed
+  in
+  sweep_figure ~out
+    ~title:(Printf.sprintf "%s: %s join counts vs memory" figure cfg.Config.label)
+    ~policies_for:(fun _ -> Factory.trend_policies cfg ~seed:opts.seed ())
+    ~traces opts
+
+let fig9 ?out opts = trend_sweep ?out (Config.tower ()) opts ~figure:"fig9"
+let fig10 ?out opts = trend_sweep ?out (Config.roof ()) opts ~figure:"fig10"
+let fig11 ?out opts = trend_sweep ?out (Config.floor ()) opts ~figure:"fig11"
+
+let fig12 ?(out = std) opts =
+  let walk = Config.walk () in
+  Format.fprintf out
+    "@.[fig12] WALK: cache-size sweep (no LIFE: no window), %d runs x %d \
+     tuples.@."
+    opts.runs opts.length;
+  let traces =
+    walk_traces walk ~runs:opts.runs ~length:opts.length ~seed:opts.seed
+  in
+  sweep_figure ~out ~title:"fig12: WALK join counts vs memory"
+    ~policies_for:(fun capacity ->
+      Factory.walk_policies walk ~seed:opts.seed ~capacity)
+    ~traces opts
+
+(* --- Figure 13 ------------------------------------------------------ *)
+
+let fig13 ?(out = std) opts =
+  let rng = Rng.create opts.seed in
+  let series = Real.synthetic_ar1 ~rng ~days:3650 () in
+  let reference = Real.to_bins series in
+  let fitted = Fit.ar1_of_ints reference in
+  Format.fprintf out
+    "@.[fig13] REAL caching: synthetic Melbourne temperatures (3650 days); \
+     our MLE fit (0.1C bins): phi1=%.3f phi0=%.2f sigma=%.2f (paper, in C: \
+     0.72 / 5.59 / 4.22).@."
+    fitted.Ar1.phi1 fitted.Ar1.phi0 fitted.Ar1.sigma;
+  let float_series = Array.map float_of_int reference in
+  Format.fprintf out
+    "model order check (Yule-Walker AIC, lower is better): p=1 %.1f, p=2 \
+     %.1f, p=3 %.1f -> AR(1) suffices.@."
+    (Fit.aic float_series ~order:1)
+    (Fit.aic float_series ~order:2)
+    (Fit.aic float_series ~order:3);
+  let sizes = opts.real_sizes in
+  let ls =
+    Array.of_list
+      (List.map (fun c -> Lfun.exp_ ~alpha:(float_of_int (max 2 c))) sizes)
+  in
+  let lo, hi = Factory.real_surface_bounds fitted in
+  let surfaces =
+    Precompute.ar1_caching_surfaces fitted ~ls ~vx_lo:lo ~vx_hi:hi ~x0_lo:lo
+      ~x0_hi:hi ~nv:5 ~nx:5 ()
+  in
+  let labels = ref [] in
+  let results =
+    List.mapi
+      (fun i capacity ->
+        let policies =
+          [
+            ("RAND", fun () -> Classic.rand_cache ~rng:(Rng.create opts.seed));
+            ("LRU", fun () -> Classic.lru ());
+            ("PROB(LFU)", fun () -> Classic.lfu ());
+            ("HEEB", Factory.real_heeb_of_surface surfaces.(i));
+          ]
+        in
+        let summaries =
+          Runner.compare_caching ~capacity ~warmup:0
+            ~references:[| reference |] ~policies ()
+        in
+        if !labels = [] then labels := List.map (fun s -> s.Runner.label) summaries;
+        summaries)
+      sizes
+  in
+  let columns =
+    List.map
+      (fun label ->
+        ( label,
+          Array.of_list
+            (List.map
+               (fun summaries ->
+                 match
+                   List.find_opt (fun s -> s.Runner.label = label) summaries
+                 with
+                 | Some s -> s.Runner.mean
+                 | None -> Float.nan)
+               results) ))
+      !labels
+  in
+  Table.series ~out ~title:"fig13: REAL number of misses vs memory size"
+    ~x_label:"memory"
+    ~xs:(List.map string_of_int sizes)
+    ~columns ()
+
+(* --- Figures 14 / 17 / 18 ------------------------------------------- *)
+
+let share_figure ?(out = std) ~title ~variants opts =
+  let every = max 1 (opts.length / 10) in
+  let columns =
+    List.map
+      (fun (label, cfg) ->
+        let r, s = Config.predictors cfg in
+        let trace =
+          Trace.generate ~r ~s ~rng:(Rng.create opts.seed) ~length:opts.length
+        in
+        let policy = Factory.trend_heeb cfg () in
+        let samples =
+          Runner.share_trace ~trace ~policy ~capacity:opts.capacity ~every
+        in
+        (label, Array.of_list (List.map snd samples)))
+      variants
+  in
+  let n =
+    List.fold_left (fun acc (_, c) -> max acc (Array.length c)) 0 columns
+  in
+  let xs = List.init n (fun i -> string_of_int (i * every)) in
+  Table.series ~out ~decimals:2 ~title ~x_label:"time" ~xs ~columns ()
+
+let fig14 ?(out = std) opts =
+  Format.fprintf out
+    "@.[fig14] Fraction of cache taken by R tuples under HEEB (TOWER-SYM \
+     variants), cache=%d.@."
+    opts.capacity;
+  share_figure ~out ~title:"fig14: R share of cache under HEEB"
+    ~variants:
+      [
+        ("same", Config.tower_sym ());
+        ("R lags 2", Config.tower_sym ~r_lag:2 ());
+        ("R lags 4", Config.tower_sym ~r_lag:4 ());
+        ("S std x2", Config.tower_sym ~s_sigma_mult:2.0 ());
+        ("S std x4", Config.tower_sym ~s_sigma_mult:4.0 ());
+      ]
+    opts
+
+let fig17 ?(out = std) opts =
+  Format.fprintf out
+    "@.[fig17] R share of cache, S-noise variance ratios 1:1 / 1:2 / 1:4.@.";
+  share_figure ~out ~title:"fig17: R share vs variance ratio"
+    ~variants:
+      [
+        ("1:1", Config.tower_sym ());
+        ("1:2", Config.tower_sym ~s_sigma_mult:2.0 ());
+        ("1:4", Config.tower_sym ~s_sigma_mult:4.0 ());
+      ]
+    opts
+
+let fig18 ?(out = std) opts =
+  Format.fprintf out
+    "@.[fig18] R share of cache, R lagging 1 / 2 / 4 steps behind S.@.";
+  share_figure ~out ~title:"fig18: R share vs lag"
+    ~variants:
+      [
+        ("lag 1", Config.tower_sym ~r_lag:1 ());
+        ("lag 2", Config.tower_sym ~r_lag:2 ());
+        ("lag 4", Config.tower_sym ~r_lag:4 ());
+      ]
+    opts
+
+(* --- Figure 15 / 16 -------------------------------------------------- *)
+
+let fig15 ?(out = std) opts =
+  let rng = Rng.create opts.seed in
+  let reference = Real.to_bins (Real.synthetic_ar1 ~rng ~days:3650 ()) in
+  let fitted = Fit.ar1_of_ints reference in
+  let alpha = 100.0 in
+  let l = Lfun.exp_ ~alpha in
+  let lo, hi = Factory.real_surface_bounds fitted in
+  let surface =
+    Precompute.ar1_caching_surface fitted ~l ~vx_lo:lo ~vx_hi:hi ~x0_lo:lo
+      ~x0_hi:hi ~nv:5 ~nx:5 ()
+  in
+  let kernel = Precompute.ar1_kernel fitted in
+  (* Exact evaluation grid: 7 x 7 inside the control region. *)
+  let grid_n = 7 in
+  let grid i = lo + ((hi - lo) * i / (grid_n - 1)) in
+  let max_abs = ref 0.0 and sum_abs = ref 0.0 and count = ref 0 in
+  let rows = ref [] in
+  for i = 0 to grid_n - 1 do
+    let vx = grid i in
+    let columns =
+      Precompute.caching_columns ~kernel ~target:vx ~ls:[| l |] ()
+    in
+    for j = 0 to grid_n - 1 do
+      let x0 = grid j in
+      let x0c = max kernel.Markov.lo (min kernel.Markov.hi x0) in
+      let exact = columns.(0).(x0c - kernel.Markov.lo) in
+      let approx =
+        Interp.Surface.eval surface (float_of_int vx) (float_of_int x0)
+      in
+      let err = Float.abs (exact -. approx) in
+      max_abs := Float.max !max_abs err;
+      sum_abs := !sum_abs +. err;
+      incr count;
+      if j mod 2 = 0 && i mod 2 = 0 then
+        rows :=
+          [
+            string_of_int vx;
+            string_of_int x0;
+            Printf.sprintf "%.5f" exact;
+            Printf.sprintf "%.5f" approx;
+          ]
+          :: !rows
+    done
+  done;
+  Format.fprintf out
+    "@.[fig15/16] REAL h2 surface: exact vs bicubic on 25 control points \
+     (alpha=%g).@."
+    alpha;
+  Table.print ~out ~header:[ "vx"; "x0"; "exact"; "bicubic" ] (List.rev !rows);
+  Format.fprintf out
+    "approximation error over the %dx%d grid: max=%.2e mean=%.2e@." grid_n
+    grid_n !max_abs
+    (!sum_abs /. float_of_int !count)
+
+(* --- Figure 19 ------------------------------------------------------- *)
+
+let fig19 ?(out = std) opts =
+  let cfg = Config.floor () in
+  let capacity = 20 in
+  let length = min opts.fe_length 500 in
+  Format.fprintf out
+    "@.[fig19] FlowExpect look-ahead sweep: FLOOR, %d runs x %d tuples, \
+     memory %d.@."
+    opts.fe_runs length capacity;
+  let traces = trend_traces cfg ~runs:opts.fe_runs ~length ~seed:opts.seed in
+  let baseline =
+    Runner.compare_joining ~setup:(setup ~capacity) ~traces
+      ~policies:(Factory.trend_policies cfg ~seed:opts.seed ())
+      ()
+  in
+  let fe_means =
+    List.map
+      (fun lookahead ->
+        let summaries =
+          Runner.compare_joining ~setup:(setup ~capacity) ~traces
+            ~policies:
+              [ ("FLOWEXPECT", Factory.trend_flow_expect cfg ~lookahead) ]
+            ~include_opt:false ()
+        in
+        (List.hd summaries).Runner.mean)
+      opts.fe_sweep
+  in
+  let n = List.length opts.fe_sweep in
+  let flat label =
+    match List.find_opt (fun s -> s.Runner.label = label) baseline with
+    | Some s -> (label, Array.make n s.Runner.mean)
+    | None -> (label, Array.make n Float.nan)
+  in
+  Table.series ~out ~title:"fig19: FlowExpect look-ahead effect"
+    ~x_label:"deltaT"
+    ~xs:(List.map string_of_int opts.fe_sweep)
+    ~columns:
+      ([ ("FLOWEXPECT", Array.of_list fe_means) ]
+      @ List.map flat [ "RAND"; "PROB"; "LIFE"; "HEEB"; "OPT-OFFLINE" ])
+    ()
+
+(* --- Section 3.4 example --------------------------------------------- *)
+
+let example_scenario () =
+  (* "-" tuples get distinct sentinel values that join nothing. *)
+  let r_pmf ~time:_ ~last:_ delta =
+    match delta with
+    | 1 -> Pmf.point 2
+    | 2 -> Pmf.point 3
+    | 3 -> Pmf.of_assoc [ (2, 0.5); (-111, 0.5) ]
+    | _ -> Pmf.point (-199)
+  in
+  let s_pmf ~time:_ ~last:_ delta =
+    match delta with
+    | 1 -> Pmf.of_assoc [ (3, 0.5); (-211, 0.5) ]
+    | 2 -> Pmf.of_assoc [ (1, 0.8); (-212, 0.2) ]
+    | 3 -> Pmf.of_assoc [ (1, 0.8); (-213, 0.2) ]
+    | _ -> Pmf.point (-299)
+  in
+  let r = Predictor.make ~name:"ex-R" ~independent:true ~time:0 ~pmf:r_pmf () in
+  let s = Predictor.make ~name:"ex-S" ~independent:true ~time:0 ~pmf:s_pmf () in
+  (r, s)
+
+let example_3_4_numbers () =
+  let r, s = example_scenario () in
+  let cached = [ Tuple.make ~side:Tuple.R ~value:1 ~arrival:(-1) ] in
+  let arrivals =
+    [
+      Tuple.make ~side:Tuple.R ~value:(-100) ~arrival:0;
+      Tuple.make ~side:Tuple.S ~value:2 ~arrival:0;
+    ]
+  in
+  let plan =
+    Flow_expect.decide ~r ~s ~lookahead:3 ~now:0 ~cached ~arrivals ~capacity:1
+      ()
+  in
+  (* Exhaustive benchmarks over the same scenario. *)
+  let steps : Expectimax.step list =
+    [
+      [ (1.0, (None, Some 2)) ];
+      [ (0.5, (Some 2, Some 3)); (0.5, (Some 2, None)) ];
+      [ (0.8, (Some 3, Some 1)); (0.2, (Some 3, None)) ];
+      [
+        (0.4, (Some 2, Some 1));
+        (0.1, (Some 2, None));
+        (0.4, (None, Some 1));
+        (0.1, (None, None));
+      ];
+    ]
+  in
+  let cache = [ (Tuple.R, 1) ] in
+  let adaptive = Expectimax.best ~cache ~capacity:1 ~steps in
+  let plan_bound = Expectimax.best_plan_benefit ~cache ~capacity:1 ~steps in
+  (plan, adaptive, plan_bound)
+
+let example_3_4 ?(out = std) () =
+  let plan, adaptive, plan_bound = example_3_4_numbers () in
+  Format.fprintf out
+    "@.[example 3.4] FlowExpect's chosen plan keeps %s with expected \
+     benefit %.3f (paper: keep the cached R tuple, 1.6).@."
+    (String.concat ", "
+       (List.map
+          (fun t -> Format.asprintf "%a" Tuple.pp t)
+          plan.Flow_expect.keep))
+    plan.Flow_expect.expected_benefit;
+  Format.fprintf out
+    "best predetermined plan (exhaustive): %.3f; optimal adaptive strategy: \
+     %.3f (paper: 1.75) -> FlowExpect is suboptimal.@."
+    plan_bound adaptive
+
+(* --- Section 7 example ----------------------------------------------- *)
+
+let example_7 ?(out = std) () =
+  let alpha = 10.0 in
+  let tuples =
+    [ ("x1", 0.50, 1); ("x2", 0.49, 50); ("x3", 0.01, 51) ]
+  in
+  Format.fprintf out
+    "@.[example 7] sliding-window scores (alpha=%g): PROB prefers x1, LIFE \
+     prefers x3, windowed HEEB ranks x2 > x1 > x3.@."
+    alpha;
+  Table.print ~out
+    ~header:[ "tuple"; "p"; "lifetime"; "PROB"; "LIFE"; "HEEB-W" ]
+    (List.map
+       (fun (name, p, life) ->
+         [
+           name;
+           Printf.sprintf "%.2f" p;
+           string_of_int life;
+           Printf.sprintf "%.3f" (Sliding.prob_score ~p ~remaining_lifetime:life);
+           Printf.sprintf "%.3f" (Sliding.life_score ~p ~remaining_lifetime:life);
+           Printf.sprintf "%.3f"
+             (Sliding.stationary_score ~alpha ~p ~remaining_lifetime:life);
+         ])
+       tuples)
+
+(* --- extensions ------------------------------------------------------- *)
+
+let window_extension ?(out = std) opts =
+  let width = 25 in
+  let window = Window.create ~width in
+  (* Skewed stationary workload: frequent small values, rare large ones. *)
+  let zipf =
+    Pmf.of_assoc (List.init 40 (fun i -> (i + 1, 1.0 /. float_of_int (i + 1))))
+  in
+  let make_preds () =
+    (Stationary.create ~time:(-1) zipf, Stationary.create ~time:(-1) zipf)
+  in
+  let traces =
+    Array.init opts.runs (fun i ->
+        let r, s = make_preds () in
+        Trace.generate ~r ~s
+          ~rng:(Rng.create (opts.seed + (811 * i)))
+          ~length:opts.length)
+  in
+  let lifetime ~now t = Window.remaining_lifetime window ~now t in
+  let capacity = opts.capacity in
+  let policies =
+    [
+      ("RAND", fun () -> Baselines.rand ~rng:(Rng.create opts.seed) ~lifetime ());
+      ("PROB", fun () -> Baselines.prob ~lifetime ());
+      ("LIFE", fun () -> Baselines.life ~lifetime ());
+      ( "HEEB-W",
+        fun () ->
+          let r, s = make_preds () in
+          (* Lifetime-matched alpha: residence is bounded by eviction
+             pressure (~capacity/2 with two arrivals per step), not by the
+             window. *)
+          let residence =
+            Float.min (float_of_int width) (float_of_int capacity /. 2.0)
+          in
+          Sliding.heeb ~r ~s
+            ~alpha:(Lfun.alpha_for_lifetime (Float.max 1.5 residence))
+            ~window () );
+    ]
+  in
+  let summaries =
+    Runner.compare_joining
+      ~setup:
+        {
+          Runner.capacity;
+          warmup = Runner.default_warmup ~capacity;
+          window = Some window;
+        }
+      ~traces ~policies ~include_opt:false ()
+  in
+  Format.fprintf out
+    "@.[window extension] sliding-window join (w=%d) on a skewed stationary \
+     workload, cache=%d, %d runs x %d tuples.@."
+    width capacity opts.runs opts.length;
+  Table.print ~out
+    ~header:[ "policy"; "mean results"; "stddev" ]
+    (List.map
+       (fun s ->
+         [
+           s.Runner.label;
+           Table.float_cell s.Runner.mean;
+           Table.float_cell s.Runner.stddev;
+         ])
+       summaries)
+
+let multi_extension ?(out = std) opts =
+  let streams = 3 in
+  let queries = [ (0, 1); (1, 2) ] in
+  let runs = min opts.runs 10 and length = min opts.length 3000 in
+  let capacity = opts.capacity in
+  let feed i =
+    Linear_trend.linear ~time:(-1) ~speed:1 ~offset:(-i)
+      ~noise:(Ssj_prob.Dist.discretized_normal ~sigma:2.0 ~bound:10)
+      ()
+  in
+  let trace_sets =
+    Array.init runs (fun run ->
+        let rng = Rng.create (opts.seed + (613 * run)) in
+        Array.init streams (fun i ->
+            fst (Predictor.generate (feed i) (Rng.split rng) length)))
+  in
+  let policies =
+    [
+      ("RAND", fun () -> Ssj_multi.Multi.rand ~rng:(Rng.create opts.seed));
+      ("PROB", fun () -> Ssj_multi.Multi.prob ());
+      ( "HEEB-multi",
+        fun () ->
+          Ssj_multi.Multi.heeb
+            ~predictors:(Array.init streams feed)
+            ~l:(Lfun.exp_ ~alpha:4.0) ~queries () );
+    ]
+  in
+  Format.fprintf out
+    "@.[multi extension] 2 join queries over 3 streams (hub = stream 1), \
+     cache=%d, %d runs x %d tuples.@."
+    capacity runs length;
+  Table.print ~out
+    ~header:[ "policy"; "mean results"; "stddev" ]
+    (List.map
+       (fun (label, make) ->
+         let per_run =
+           Array.map
+             (fun traces ->
+               float_of_int
+                 (Ssj_multi.Multi.run ~traces ~queries ~policy:(make ())
+                    ~capacity
+                    ~warmup:(Runner.default_warmup ~capacity)
+                    ())
+                   .Ssj_multi.Multi
+                   .counted_results)
+             trace_sets
+         in
+         [
+           label;
+           Table.float_cell (Ssj_prob.Stats.mean per_run);
+           Table.float_cell (Ssj_prob.Stats.stddev per_run);
+         ])
+       policies)
+
+let band_extension ?(out = std) opts =
+  let cfg = Config.tower () in
+  let runs = min opts.runs 10 and length = min opts.length 2000 in
+  let traces = trend_traces cfg ~runs ~length ~seed:opts.seed in
+  let capacity = opts.capacity in
+  let warmup = Runner.default_warmup ~capacity in
+  Format.printf
+    "@.[band extension] TOWER under band-join semantics (|v1 - v2| <= b), \
+     cache=%d, %d runs x %d tuples.@."
+    capacity runs length;
+  let row band =
+    let opt =
+      Ssj_prob.Stats.mean
+        (Array.map
+           (fun trace ->
+             float_of_int
+               (Opt_offline.max_results_from ~band ~trace ~capacity
+                  ~start:warmup ()))
+           traces)
+    in
+    let mean policy_of =
+      Ssj_prob.Stats.mean
+        (Array.map
+           (fun trace ->
+             float_of_int
+               (Join_sim.run ~trace ~policy:(policy_of ()) ~capacity ~warmup
+                  ~band ())
+                 .Join_sim
+                 .counted_results)
+           traces)
+    in
+    let heeb () =
+      let r, s = Config.predictors cfg in
+      Band.heeb ~r ~s ~l:(Lfun.exp_ ~alpha:(Config.alpha cfg)) ~band ()
+    in
+    (* Window-aware baselines as in Section 6.2 (the equijoin lifetime is
+       a close under-estimate for small bands). *)
+    let lifetime = Config.lifetime cfg in
+    let rand () =
+      Baselines.rand ~rng:(Ssj_prob.Rng.create opts.seed) ~lifetime ()
+    in
+    let prob () = Baselines.prob ~lifetime () in
+    [
+      string_of_int band;
+      Table.float_cell opt;
+      Table.float_cell (mean rand);
+      Table.float_cell (mean prob);
+      Table.float_cell (mean heeb);
+    ]
+  in
+  Table.print ~out
+    ~header:[ "band"; "OPT-OFFLINE"; "RAND"; "PROB"; "HEEB-band" ]
+    (List.map row [ 0; 1; 2 ])
+
+let adversarial ?(out = std) opts =
+  (* Empirical competitive-ratio estimates: the paper's Section 8 points
+     at competitive analysis as future work; here we at least measure the
+     worst observed OPT/policy ratio over many independent realisations
+     (a lower bound on the true competitive ratio). *)
+  let runs = min opts.runs 25 and length = min opts.length 3000 in
+  let capacity = opts.capacity in
+  let warmup = Runner.default_warmup ~capacity in
+  let ratio_row label traces (policies : (string * (unit -> Policy.join)) list)
+      =
+    let opts_per_trace =
+      Array.map
+        (fun trace ->
+          Opt_offline.max_results_from ~trace ~capacity ~start:warmup ())
+        traces
+    in
+    List.map
+      (fun (name, make) ->
+        let worst = ref 1.0 and mean = ref 0.0 in
+        Array.iteri
+          (fun i trace ->
+            let got =
+              (Join_sim.run ~trace ~policy:(make ()) ~capacity ~warmup ())
+                .Join_sim
+                .counted_results
+            in
+            let ratio =
+              float_of_int opts_per_trace.(i) /. float_of_int (max 1 got)
+            in
+            if ratio > !worst then worst := ratio;
+            mean := !mean +. (ratio /. float_of_int runs))
+          traces;
+        [ label; name; Printf.sprintf "%.2f" !mean; Printf.sprintf "%.2f" !worst ])
+      policies
+  in
+  let tower = Config.tower () in
+  let tower_traces = trend_traces tower ~runs ~length ~seed:opts.seed in
+  let walk = Config.walk () in
+  let walk_tr = walk_traces walk ~runs ~length ~seed:opts.seed in
+  Format.fprintf out
+    "@.[adversarial] empirical competitive-ratio estimates (OPT/policy; \
+     mean and worst over %d runs x %d tuples, cache=%d).@."
+    runs length capacity;
+  Table.print ~out
+    ~header:[ "config"; "policy"; "mean ratio"; "worst ratio" ]
+    (ratio_row "TOWER" tower_traces
+       (Factory.trend_policies tower ~seed:opts.seed ())
+    @ ratio_row "WALK" walk_tr
+        (Factory.walk_policies walk ~seed:opts.seed ~capacity))
+
+let robustness ?(out = std) opts =
+  (* How gracefully does HEEB degrade when its model is wrong?  The data
+     comes from TOWER; the policy believes variants of it. *)
+  let truth = Config.tower () in
+  let runs = min opts.runs 12 and length = min opts.length 3000 in
+  let traces = trend_traces truth ~runs ~length ~seed:opts.seed in
+  let capacity = opts.capacity in
+  let heeb_believing cfg name =
+    ( name,
+      fun () ->
+        let r, s = Config.predictors cfg in
+        Heeb.joining ~name ~r ~s
+          ~l:(Lfun.exp_ ~alpha:(Config.alpha cfg))
+          ~mode:(`Memo_trend cfg.Config.speed) () )
+  in
+  let policies =
+    [
+      heeb_believing truth "correct model";
+      heeb_believing (Config.tower ~s_sigma_mult:3.0 ()) "sigma_S x3";
+      heeb_believing (Config.tower ~r_lag:3 ()) "lag off by 2";
+      ( "stale model (no drift)",
+        fun () ->
+          (* Believes the distributions are frozen at time 0: a
+             stationary model with the trend's initial windows. *)
+          let frozen offset noise =
+            Stationary.create ~time:(-1)
+              (Ssj_prob.Pmf.shift noise offset)
+          in
+          Heeb.joining ~name:"stale"
+            ~r:(frozen truth.Config.r_offset truth.Config.r_noise)
+            ~s:(frozen truth.Config.s_offset truth.Config.s_noise)
+            ~l:(Lfun.exp_ ~alpha:(Config.alpha truth))
+            () );
+      ("RAND", fun () -> Baselines.rand ~rng:(Rng.create opts.seed)
+                          ~lifetime:(Config.lifetime truth) ());
+    ]
+  in
+  let summaries =
+    Runner.compare_joining ~setup:(setup ~capacity) ~traces ~policies ()
+  in
+  Format.fprintf out
+    "@.[robustness] HEEB under model misspecification (data = TOWER), \
+     cache=%d, %d runs x %d tuples.@."
+    capacity runs length;
+  Table.print ~out
+    ~header:[ "believed model"; "mean results"; "stddev" ]
+    (List.map
+       (fun s ->
+         [
+           s.Runner.label;
+           Table.float_cell s.Runner.mean;
+           Table.float_cell s.Runner.stddev;
+         ])
+       summaries)
+
+let ablation_lfun ?(out = std) opts =
+  let cfg = Config.tower () in
+  let traces =
+    trend_traces cfg ~runs:opts.runs ~length:opts.length ~seed:opts.seed
+  in
+  let capacity = opts.capacity in
+  let alpha = Config.alpha cfg in
+  let heeb_with name l =
+    ( name,
+      fun () ->
+        let r, s = Config.predictors cfg in
+        Heeb.joining ~name ~r ~s ~l ~mode:(`Memo_trend cfg.Config.speed) () )
+  in
+  let policies =
+    [
+      heeb_with "Lexp(paper a)" (Lfun.exp_ ~alpha);
+      heeb_with "Lexp(a/2)" (Lfun.exp_ ~alpha:(Float.max 0.5 (alpha /. 2.0)));
+      heeb_with "Lexp(4a)" (Lfun.exp_ ~alpha:(4.0 *. alpha));
+      heeb_with "Lfixed(1)" (Lfun.fixed 1);
+      heeb_with "Lfixed(12)" (Lfun.fixed 12);
+      heeb_with "Lfixed(40)" (Lfun.fixed 40);
+      ( "adaptive-a",
+        fun () ->
+          let r, s = Config.predictors cfg in
+          Heeb.joining_adaptive ~r ~s () );
+    ]
+  in
+  let summaries =
+    Runner.compare_joining ~setup:(setup ~capacity) ~traces ~policies ()
+  in
+  Format.fprintf out
+    "@.[ablation] HEEB's L choice on TOWER, cache=%d, %d runs x %d tuples \
+     (alpha_paper=%.2f).@."
+    capacity opts.runs opts.length alpha;
+  Table.print ~out
+    ~header:[ "variant"; "mean results"; "stddev" ]
+    (List.map
+       (fun s ->
+         [
+           s.Runner.label;
+           Table.float_cell s.Runner.mean;
+           Table.float_cell s.Runner.stddev;
+         ])
+       summaries)
+
+let all ?(out = std) opts =
+  example_3_4 ~out ();
+  example_7 ~out ();
+  fig6 ~out opts;
+  fig7 ~out ();
+  fig8 ~out opts;
+  fig9 ~out opts;
+  fig10 ~out opts;
+  fig11 ~out opts;
+  fig12 ~out opts;
+  fig13 ~out opts;
+  fig14 ~out opts;
+  fig15 ~out opts;
+  fig17 ~out opts;
+  fig18 ~out opts;
+  fig19 ~out opts;
+  window_extension ~out opts;
+  band_extension ~out opts;
+  multi_extension ~out opts;
+  robustness ~out opts;
+  adversarial ~out opts;
+  ablation_lfun ~out opts

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest QCheck2 QCheck_alcotest Ssj_prob

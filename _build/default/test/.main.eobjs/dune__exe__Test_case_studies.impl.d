@@ -1,0 +1,1 @@
+test/test_case_studies.ml: Alcotest Array Case_studies Dist Dominance Ecb Helpers Interp Lfun Linear_trend List Pmf Precompute Printf Ssj_core Ssj_model Ssj_prob Ssj_stream Stationary Tuple

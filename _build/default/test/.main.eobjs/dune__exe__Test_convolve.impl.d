@@ -1,0 +1,1 @@
+test/test_convolve.ml: Alcotest Array Convolve Dist Float Helpers Pmf QCheck2 Ssj_prob

@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Dist Float Helpers Pmf Special Ssj_prob

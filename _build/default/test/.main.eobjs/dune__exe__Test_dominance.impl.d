@@ -1,0 +1,1 @@
+test/test_dominance.ml: Alcotest Array Dominance Expectimax Helpers List QCheck2 Ssj_core Ssj_stream String Tuple

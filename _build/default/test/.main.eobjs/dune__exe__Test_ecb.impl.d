@@ -1,0 +1,1 @@
+test/test_ecb.ml: Alcotest Array Dist Ecb Helpers Linear_trend Markov Offline Pmf Printf Random_walk Ssj_core Ssj_model Ssj_prob Stationary

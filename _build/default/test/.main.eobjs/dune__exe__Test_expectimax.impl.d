@@ -1,0 +1,1 @@
+test/test_expectimax.ml: Alcotest Expectimax Helpers QCheck2 Ssj_core Ssj_stream Tuple

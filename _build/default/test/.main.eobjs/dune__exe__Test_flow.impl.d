@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Float Heap Helpers List Mcmf Mcmf_check QCheck2 Ssj_flow

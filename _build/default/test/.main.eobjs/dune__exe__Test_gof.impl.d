@@ -1,0 +1,1 @@
+test/test_gof.ml: Alcotest Array Dist Gof Hashtbl Helpers List Option Pmf Ssj_model Ssj_prob

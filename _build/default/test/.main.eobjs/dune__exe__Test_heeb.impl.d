@@ -1,0 +1,1 @@
+test/test_heeb.ml: Alcotest Array Baselines Classic Heeb Helpers Lfun Offline Pmf Predictor Rng Ssj_core Ssj_engine Ssj_model Ssj_prob Ssj_stream Ssj_workload Stationary Trace Tuple

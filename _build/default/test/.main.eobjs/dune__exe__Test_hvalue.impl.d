@@ -1,0 +1,1 @@
+test/test_hvalue.ml: Alcotest Array Dist Helpers Hvalue Lfun Linear_trend List Markov Pmf Predictor Printf QCheck2 Ssj_core Ssj_model Ssj_prob Stationary

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Filename Float Helpers Interp List Printf QCheck2 Ssj_core Sys

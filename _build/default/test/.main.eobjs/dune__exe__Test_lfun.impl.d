@@ -1,0 +1,1 @@
+test/test_lfun.ml: Alcotest Helpers Lfun List Printf QCheck2 Ssj_core

@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Ar1 Array Convolve Dist Fit Float Helpers Linear_trend List Markov Offline Pmf Predictor Printf Random_walk Rng Ssj_model Ssj_prob Stationary

@@ -1,0 +1,1 @@
+test/test_multi.ml: Alcotest Array Dist Heeb Helpers Lfun Linear_trend List Multi Predictor Ssj_core Ssj_engine Ssj_model Ssj_multi Ssj_prob Ssj_stream Ssj_workload

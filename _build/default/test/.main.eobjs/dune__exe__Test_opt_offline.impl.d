@@ -1,0 +1,1 @@
+test/test_opt_offline.ml: Alcotest Array Baselines Helpers List Opt_offline QCheck2 Set Ssj_core Ssj_engine Ssj_prob Ssj_stream Stdlib Trace Tuple

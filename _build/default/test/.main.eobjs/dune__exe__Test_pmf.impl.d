@@ -1,0 +1,1 @@
+test/test_pmf.ml: Alcotest Array Dist Float Helpers Pmf QCheck2 Ssj_prob

@@ -1,0 +1,1 @@
+test/test_policies.ml: Alcotest Array Baselines Classic Helpers List Policy QCheck2 Ssj_core Ssj_engine Ssj_prob Ssj_stream Stdlib String Tuple

@@ -1,0 +1,1 @@
+test/test_precompute.ml: Alcotest Ar1 Array Dist Float Helpers Hvalue Interp Lfun List Markov Pmf Precompute Printf Random_walk Ssj_core Ssj_model Ssj_prob

@@ -1,0 +1,1 @@
+test/test_scaling.ml: Alcotest Float Helpers List Mcmf QCheck2 Scaling Ssj_flow Ssj_prob

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Cache_sim Classic Hashtbl Helpers Join_sim List Policy Printf Reduction Runner Ssj_core Ssj_engine Ssj_prob Ssj_stream Ssj_workload String Trace Tuple Window

@@ -1,0 +1,1 @@
+test/test_sliding.ml: Alcotest Baselines Helpers Hvalue Lfun List Pmf Policy Sliding Ssj_core Ssj_engine Ssj_model Ssj_prob Ssj_stream Stationary Trace Tuple Window

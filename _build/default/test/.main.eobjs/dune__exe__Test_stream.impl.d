@@ -1,0 +1,1 @@
+test/test_stream.ml: Alcotest Array Helpers List Reduction Ssj_stream Ssj_workload Trace Tuple Window

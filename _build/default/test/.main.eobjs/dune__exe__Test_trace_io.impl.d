@@ -1,0 +1,1 @@
+test/test_trace_io.ml: Alcotest Array Filename Helpers QCheck2 Ssj_stream String Sys Trace Trace_io

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Ar1 Array Buffer Config Experiments Factory Fit Format Helpers List Pmf Predictor Printf Real Ssj_model Ssj_prob Ssj_stream Ssj_workload Stats String

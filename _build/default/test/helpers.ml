@@ -1,0 +1,21 @@
+(* Shared test utilities. *)
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.check (Alcotest.float eps) msg expected actual
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let qcheck ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen prop)
+
+let rng seed = Ssj_prob.Rng.create seed
+
+(* Monte-Carlo estimate of a probability with its sample count. *)
+let monte_carlo ~trials f =
+  let hits = ref 0 in
+  for _ = 1 to trials do
+    if f () then incr hits
+  done;
+  float_of_int !hits /. float_of_int trials

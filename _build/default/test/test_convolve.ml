@@ -1,0 +1,79 @@
+open Ssj_prob
+open Helpers
+
+let test_pair_point_masses () =
+  let p = Convolve.pair (Pmf.point 3) (Pmf.point 4) in
+  check_float "sum of points" 1.0 (Pmf.prob p 7)
+
+let test_pair_dice () =
+  (* Two fair dice: the textbook triangle distribution. *)
+  let die = Dist.uniform ~lo:1 ~hi:6 in
+  let sum = Convolve.pair die die in
+  check_float "p(2)" (1.0 /. 36.0) (Pmf.prob sum 2);
+  check_float "p(7)" (6.0 /. 36.0) (Pmf.prob sum 7);
+  check_float "p(12)" (1.0 /. 36.0) (Pmf.prob sum 12);
+  check_float "total" 1.0 (Pmf.total sum)
+
+let test_means_add () =
+  let a = Pmf.of_assoc [ (0, 0.25); (4, 0.75) ] in
+  let b = Pmf.of_assoc [ (-2, 0.5); (2, 0.5) ] in
+  let c = Convolve.pair a b in
+  check_float ~eps:1e-9 "mean adds" (Pmf.mean a +. Pmf.mean b) (Pmf.mean c);
+  check_float ~eps:1e-9 "variance adds"
+    (Pmf.variance a +. Pmf.variance b)
+    (Pmf.variance c)
+
+let test_nfold_equals_repeated_pair () =
+  let step = Pmf.of_assoc [ (-1, 0.5); (1, 0.5) ] in
+  let direct = Convolve.nfold step 4 in
+  let manual =
+    Convolve.pair (Convolve.pair (Convolve.pair step step) step) step
+  in
+  check_bool "4-fold equals chained pairs" true (Pmf.equal direct manual)
+
+let test_nfold_binomial () =
+  (* n-fold convolution of a ±1 coin: shifted binomial. *)
+  let step = Pmf.of_assoc [ (0, 0.5); (1, 0.5) ] in
+  let p = Convolve.nfold step 5 in
+  check_float ~eps:1e-12 "binomial(5, 0.5) at 2" (10.0 /. 32.0) (Pmf.prob p 2)
+
+let test_table_consistency () =
+  let step = Dist.discretized_normal ~sigma:1.0 ~bound:4 in
+  let table = Convolve.Table.create step in
+  (* Query out of order to exercise the memo growth. *)
+  let p5 = Convolve.Table.get table 5 in
+  let p2 = Convolve.Table.get table 2 in
+  check_bool "level 2" true (Pmf.equal p2 (Convolve.nfold step 2));
+  check_bool "level 5" true (Pmf.equal p5 (Convolve.nfold step 5));
+  check_bool "level 1 is the step" true
+    (Pmf.equal (Convolve.Table.get table 1) step)
+
+let gen_small_pmf =
+  QCheck2.Gen.(
+    let* lo = int_range (-5) 5 in
+    let* n = int_range 1 6 in
+    let* weights = list_repeat n (float_range 0.1 5.0) in
+    return (Pmf.create ~lo (Array.of_list weights)))
+
+let prop_commutative =
+  qcheck ~count:100 "pair is commutative"
+    QCheck2.Gen.(tup2 gen_small_pmf gen_small_pmf)
+    (fun (a, b) -> Pmf.equal (Convolve.pair a b) (Convolve.pair b a))
+
+let prop_mass_preserved =
+  qcheck ~count:100 "pair preserves mass"
+    QCheck2.Gen.(tup2 gen_small_pmf gen_small_pmf)
+    (fun (a, b) -> Float.abs (Pmf.total (Convolve.pair a b) -. 1.0) < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "points" `Quick test_pair_point_masses;
+    Alcotest.test_case "two dice" `Quick test_pair_dice;
+    Alcotest.test_case "means and variances add" `Quick test_means_add;
+    Alcotest.test_case "nfold equals chained pairs" `Quick
+      test_nfold_equals_repeated_pair;
+    Alcotest.test_case "nfold binomial" `Quick test_nfold_binomial;
+    Alcotest.test_case "memo table consistency" `Quick test_table_consistency;
+    prop_commutative;
+    prop_mass_preserved;
+  ]

@@ -1,0 +1,170 @@
+open Ssj_core
+open Helpers
+
+let test_compare_verdicts () =
+  let check_verdict msg expected a b =
+    let verdict = Dominance.compare a b in
+    check_bool msg true (verdict = expected)
+  in
+  check_verdict "left" Dominance.Left_dominates [| 1.0; 2.0 |] [| 1.0; 1.0 |];
+  check_verdict "right" Dominance.Right_dominates [| 0.0; 1.0 |] [| 1.0; 1.0 |];
+  check_verdict "equal" Dominance.Equal [| 1.0; 2.0 |] [| 1.0; 2.0 |];
+  check_verdict "incomparable" Dominance.Incomparable [| 1.0; 0.0 |]
+    [| 0.0; 1.0 |]
+
+let test_strong_dominance () =
+  check_bool "strict everywhere" true
+    (Dominance.strongly_dominates [| 1.0; 2.0 |] [| 0.5; 1.5 |]);
+  check_bool "weak somewhere" false
+    (Dominance.strongly_dominates [| 1.0; 2.0 |] [| 1.0; 1.5 |]);
+  check_bool "dominates includes equality" true
+    (Dominance.dominates [| 1.0; 2.0 |] [| 1.0; 2.0 |])
+
+let test_mismatched_horizons_rejected () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Dominance.compare: ECB horizons differ") (fun () ->
+      ignore (Dominance.compare [| 1.0 |] [| 1.0; 2.0 |]))
+
+let test_dominated_subset_found () =
+  (* w dominates all; x and z incomparable; y dominated by everyone —
+     the Figure 2 discussion. *)
+  let w = [| 3.0; 6.0; 9.0 |] in
+  let x = [| 2.0; 4.0; 4.0 |] in
+  let z = [| 0.5; 3.0; 4.5 |] in
+  let y = [| 0.4; 1.0; 1.5 |] in
+  let candidates = [| ("w", w); ("x", x); ("z", z); ("y", y) |] in
+  (match Dominance.dominated_subset candidates ~count:1 with
+  | Some [ "y" ] -> ()
+  | Some other ->
+    Alcotest.failf "expected [y], got [%s]" (String.concat ";" other)
+  | None -> Alcotest.fail "expected a dominated singleton");
+  (* Discarding three of four: {x, z, y} works since w dominates all. *)
+  (match Dominance.dominated_subset candidates ~count:3 with
+  | Some members ->
+    check_bool "three weakest" true
+      (List.sort compare members = [ "x"; "y"; "z" ])
+  | None -> Alcotest.fail "expected a dominated triple");
+  (* Discarding two fails: x and z are incomparable at the boundary. *)
+  check_bool "no dominated pair" true
+    (Dominance.dominated_subset candidates ~count:2 = None)
+
+let test_dominated_subset_trivia () =
+  let candidates = [| ("a", [| 1.0 |]) |] in
+  check_bool "count 0" true (Dominance.dominated_subset candidates ~count:0 = Some []);
+  Alcotest.check_raises "count too large"
+    (Invalid_argument "Dominance.dominated_subset: bad count") (fun () ->
+      ignore (Dominance.dominated_subset candidates ~count:2))
+
+let test_total_order () =
+  let a = [| 3.0; 3.0 |] and b = [| 2.0; 2.0 |] and c = [| 1.0; 1.0 |] in
+  (match Dominance.total_order [| ("b", b); ("c", c); ("a", a) |] with
+  | Some order ->
+    Alcotest.(check (array string)) "sorted by dominance" [| "a"; "b"; "c" |]
+      order
+  | None -> Alcotest.fail "expected a total order");
+  let x = [| 1.0; 0.0 |] and y = [| 0.0; 1.0 |] in
+  check_bool "incomparable pair yields None" true
+    (Dominance.total_order [| ("x", x); ("y", y) |] = None)
+
+(* Theorem 3 sanity on a tiny instance: when one candidate's ECB strongly
+   dominates, the optimal (expectimax) decision keeps it. *)
+let test_theorem3_on_small_instance () =
+  let open Ssj_stream in
+  (* Stationary S stream: value 1 w.p. 0.6, value 2 w.p. 0.3, dead 0.1.
+     R tuples with values 1 and 2 have comparable ECBs: keep value 1. *)
+  let steps : Expectimax.step list =
+    List.init 4 (fun _ ->
+        [ (0.6, (None, Some 1)); (0.3, (None, Some 2)); (0.1, (None, None)) ])
+  in
+  (* Cache of size 1 holding R(2); R(1) arrives at step 0. The optimal
+     strategy must swap to R(1): benefit 3 * 0.6 vs 3 * 0.3. *)
+  let keep_1 =
+    Expectimax.best ~cache:[ (Tuple.R, 2) ] ~capacity:1
+      ~steps:
+        ([ (1.0, (Some 1, None)) ] :: steps)
+  in
+  (* Compare against a world where the arrival is worthless. *)
+  let keep_2 =
+    Expectimax.best ~cache:[ (Tuple.R, 2) ] ~capacity:1
+      ~steps:
+        ([ (1.0, (Some (-5), None)) ] :: steps)
+  in
+  check_float ~eps:1e-9 "optimal keeps the dominant tuple" (4.0 *. 0.6) keep_1;
+  check_float ~eps:1e-9 "otherwise keeps the old one" (4.0 *. 0.3) keep_2
+
+let gen_ecb =
+  QCheck2.Gen.(
+    let* n = int_range 1 8 in
+    let* incs = list_repeat n (float_range 0.0 1.0) in
+    let acc = ref 0.0 in
+    return
+      (Array.of_list
+         (List.map
+            (fun i ->
+              acc := !acc +. i;
+              !acc)
+            incs)))
+
+let prop_dominated_subset_sound =
+  qcheck ~count:150 "dominated_subset results satisfy Corollary 2's definition"
+    QCheck2.Gen.(
+      let* n = int_range 1 6 in
+      let* count = int_range 0 n in
+      let* ecbs =
+        list_repeat n
+          (let* incs = list_repeat 4 (float_range 0.0 1.0) in
+           let acc = ref 0.0 in
+           return
+             (Array.of_list
+                (List.map
+                   (fun i ->
+                     acc := !acc +. i;
+                     !acc)
+                   incs)))
+      in
+      return (ecbs, count))
+    (fun (ecbs, count) ->
+      let candidates = Array.of_list (List.mapi (fun i e -> (i, e)) ecbs) in
+      match Dominance.dominated_subset candidates ~count with
+      | None -> true
+      | Some inside ->
+        List.length inside = count
+        && Array.for_all
+             (fun (i, eo) ->
+               List.mem i inside
+               || List.for_all
+                    (fun j ->
+                      let _, ei = candidates.(j) in
+                      Dominance.dominates eo ei)
+                    inside)
+             candidates)
+
+let prop_dominance_reflexive =
+  qcheck "dominance is reflexive" gen_ecb (fun e -> Dominance.dominates e e)
+
+let prop_dominance_antisymmetric =
+  qcheck "mutual dominance means equality"
+    QCheck2.Gen.(tup2 gen_ecb gen_ecb)
+    (fun (a, b) ->
+      if Array.length a <> Array.length b then true
+      else if Dominance.dominates a b && Dominance.dominates b a then
+        Dominance.compare a b = Dominance.Equal
+      else true)
+
+let suite =
+  [
+    Alcotest.test_case "verdicts" `Quick test_compare_verdicts;
+    Alcotest.test_case "strong dominance" `Quick test_strong_dominance;
+    Alcotest.test_case "horizon mismatch" `Quick
+      test_mismatched_horizons_rejected;
+    Alcotest.test_case "dominated subsets (Corollary 2)" `Quick
+      test_dominated_subset_found;
+    Alcotest.test_case "dominated subset edge cases" `Quick
+      test_dominated_subset_trivia;
+    Alcotest.test_case "total order" `Quick test_total_order;
+    Alcotest.test_case "Theorem 3 on a small instance" `Quick
+      test_theorem3_on_small_instance;
+    prop_dominated_subset_sound;
+    prop_dominance_reflexive;
+    prop_dominance_antisymmetric;
+  ]

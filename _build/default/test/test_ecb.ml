@@ -1,0 +1,147 @@
+open Ssj_prob
+open Ssj_model
+open Ssj_core
+open Helpers
+
+(* --- Lemma 1 / Corollary 1 ------------------------------------------- *)
+
+let test_joining_stationary_linear () =
+  (* Section 5.2: B_x(dt) = p(v) * dt for stationary partners. *)
+  let dist = Pmf.of_assoc [ (1, 0.3); (2, 0.7) ] in
+  let partner = Stationary.create dist in
+  let b = Ecb.joining ~partner ~value:1 ~horizon:10 in
+  for d = 1 to 10 do
+    check_float ~eps:1e-12
+      (Printf.sprintf "B(%d)" d)
+      (0.3 *. float_of_int d)
+      b.(d - 1)
+  done
+
+let test_joining_offline_step_function () =
+  (* Section 5.1: offline joining ECB is a step function, one step per
+     occurrence of the value in the partner stream. *)
+  let partner = Offline.create [| 5; 9; 5; 7; 5 |] in
+  let b = Ecb.joining ~partner ~value:5 ~horizon:5 in
+  Alcotest.(check (array (float 1e-12))) "steps at occurrences"
+    [| 1.0; 1.0; 2.0; 2.0; 3.0 |] b
+
+let test_caching_offline_single_step () =
+  (* Section 5.1 caching: single-step function jumping at the next
+     reference -> LFD ordering. *)
+  let reference = Offline.create [| 9; 9; 5; 9 |] in
+  let b = Ecb.caching_independent ~reference ~value:5 ~horizon:4 in
+  Alcotest.(check (array (float 1e-12))) "jump at first reference"
+    [| 0.0; 0.0; 1.0; 1.0 |] b
+
+let test_caching_stationary_geometric () =
+  (* Section 5.2: B_x(dt) = 1 - (1 - p)^dt. *)
+  let dist = Pmf.of_assoc [ (1, 0.25); (2, 0.75) ] in
+  let reference = Stationary.create dist in
+  let b = Ecb.caching_independent ~reference ~value:1 ~horizon:8 in
+  for d = 1 to 8 do
+    check_float ~eps:1e-12
+      (Printf.sprintf "B(%d)" d)
+      (1.0 -. (0.75 ** float_of_int d))
+      b.(d - 1)
+  done
+
+let test_caching_markov_equals_independent_for_iid () =
+  (* A kernel that ignores its state is an i.i.d. process: the Markov
+     first-passage ECB must agree with the independent formula. *)
+  let dist = Pmf.of_assoc [ (0, 0.4); (1, 0.6) ] in
+  let kernel = { Markov.lo = 0; hi = 1; row = (fun _ -> dist) } in
+  let markov = Ecb.caching_markov ~kernel ~start:0 ~value:1 ~horizon:12 in
+  let independent =
+    Ecb.caching_independent ~reference:(Stationary.create dist) ~value:1
+      ~horizon:12
+  in
+  Array.iteri
+    (fun i v -> check_float ~eps:1e-12 (Printf.sprintf "B(%d)" (i + 1)) v markov.(i))
+    independent
+
+let test_ecb_monotone_nondecreasing () =
+  let partner =
+    Linear_trend.linear ~time:0 ~speed:1 ~offset:0
+      ~noise:(Dist.uniform ~lo:(-3) ~hi:3)
+      ()
+  in
+  let b = Ecb.joining ~partner ~value:4 ~horizon:15 in
+  for d = 1 to 14 do
+    check_bool "non-decreasing" true (b.(d) >= b.(d - 1) -. 1e-12)
+  done
+
+let test_linear_uniform_categories () =
+  (* Section 5.3 joining categories: R2 tuples gain 1/(2wS+1) per step
+     until the S window passes. *)
+  let ws = 3 in
+  let s_noise = Dist.uniform ~lo:(-ws) ~hi:ws in
+  let partner = Linear_trend.linear ~time:0 ~speed:1 ~offset:0 ~noise:s_noise () in
+  (* Candidate R tuple with value v = 2 at t0 = 0: joins while
+     2 >= t - ws, i.e. t <= 5. *)
+  let b = Ecb.joining ~partner ~value:2 ~horizon:10 in
+  let rate = 1.0 /. 7.0 in
+  check_float ~eps:1e-12 "B(1)" rate b.(0);
+  check_float ~eps:1e-12 "B(5)" (5.0 *. rate) b.(4);
+  check_float ~eps:1e-12 "B(6) capped" (5.0 *. rate) b.(5);
+  check_float ~eps:1e-12 "B(10) capped" (5.0 *. rate) b.(9)
+
+let test_sliding_ecb () =
+  let b = [| 0.2; 0.4; 0.6; 0.8; 1.0 |] in
+  let clamped = Ecb.sliding b ~remaining:3 in
+  Alcotest.(check (array (float 1e-12))) "frozen at window exit"
+    [| 0.2; 0.4; 0.6; 0.6; 0.6 |] clamped;
+  let dead = Ecb.sliding b ~remaining:0 in
+  Alcotest.(check (array (float 1e-12))) "expired" [| 0.0; 0.0; 0.0; 0.0; 0.0 |]
+    dead
+
+let test_reference_tuple_zero () =
+  let b = Ecb.reference_stream_tuple ~horizon:4 in
+  Alcotest.(check (array (float 0.0))) "zero" [| 0.0; 0.0; 0.0; 0.0 |] b
+
+(* Monte-Carlo check of Lemma 1 on a nontrivial model. *)
+let test_lemma1_monte_carlo () =
+  let step = Pmf.of_assoc [ (-1, 0.3); (0, 0.4); (1, 0.3) ] in
+  let partner = Random_walk.create ~start:0 ~drift:0 ~step () in
+  let horizon = 6 in
+  let value = 1 in
+  let b = Ecb.joining ~partner ~value ~horizon in
+  let r = rng 31 in
+  (* Expected number of matches over [1, horizon] estimated by sampling
+     partner paths. *)
+  let trials = 30_000 in
+  let acc = ref 0.0 in
+  for _ = 1 to trials do
+    let rec go pos d matches =
+      if d > horizon then matches
+      else begin
+        let pos = pos + Pmf.sample step r in
+        go pos (d + 1) (if pos = value then matches + 1 else matches)
+      end
+    in
+    acc := !acc +. float_of_int (go 0 1 0)
+  done;
+  check_float ~eps:0.02 "Lemma 1 vs Monte Carlo"
+    (!acc /. float_of_int trials)
+    b.(horizon - 1)
+
+let suite =
+  [
+    Alcotest.test_case "stationary joining is linear" `Quick
+      test_joining_stationary_linear;
+    Alcotest.test_case "offline joining steps" `Quick
+      test_joining_offline_step_function;
+    Alcotest.test_case "offline caching single step" `Quick
+      test_caching_offline_single_step;
+    Alcotest.test_case "stationary caching geometric" `Quick
+      test_caching_stationary_geometric;
+    Alcotest.test_case "markov ECB degenerates to independent" `Quick
+      test_caching_markov_equals_independent_for_iid;
+    Alcotest.test_case "ECBs are non-decreasing" `Quick
+      test_ecb_monotone_nondecreasing;
+    Alcotest.test_case "Section 5.3 category rates" `Quick
+      test_linear_uniform_categories;
+    Alcotest.test_case "sliding-window ECB" `Quick test_sliding_ecb;
+    Alcotest.test_case "reference tuples have zero ECB" `Quick
+      test_reference_tuple_zero;
+    Alcotest.test_case "Lemma 1 vs Monte Carlo" `Slow test_lemma1_monte_carlo;
+  ]

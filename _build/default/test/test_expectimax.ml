@@ -1,0 +1,89 @@
+open Ssj_stream
+open Ssj_core
+open Helpers
+
+let det r s : Expectimax.step = [ (1.0, (r, s)) ]
+
+let test_deterministic_benefit () =
+  (* Cache holds S(7); R arrives with 7 twice: 2 results, no choice. *)
+  let steps = [ det (Some 7) None; det (Some 7) None ] in
+  check_float "two deterministic results" 2.0
+    (Expectimax.best ~cache:[ (Tuple.S, 7) ] ~capacity:1 ~steps);
+  check_float "plans agree when deterministic" 2.0
+    (Expectimax.best_plan_benefit ~cache:[ (Tuple.S, 7) ] ~capacity:1 ~steps)
+
+let test_replacement_decision () =
+  (* Cache S(1); arrival S(2); future R arrivals are 2, 2: swap wins. *)
+  let steps =
+    [ det None (Some 2); det (Some 2) None; det (Some 2) None ]
+  in
+  check_float "swap captures both" 2.0
+    (Expectimax.best ~cache:[ (Tuple.S, 1) ] ~capacity:1 ~steps)
+
+let test_adaptive_beats_plan () =
+  (* Scaled-down version of Section 3.4: the adaptive strategy branches
+     on a coin observed at step 1. *)
+  let steps : Expectimax.step list =
+    [
+      det None (Some 2);
+      [ (0.5, (Some 2, Some 3)); (0.5, (Some 2, None)) ];
+      det (Some 3) None;
+    ]
+  in
+  let cache = [ (Tuple.R, 1) ] in
+  let adaptive = Expectimax.best ~cache ~capacity:1 ~steps in
+  let plan = Expectimax.best_plan_benefit ~cache ~capacity:1 ~steps in
+  check_bool "adaptive >= plan" true (adaptive >= plan -. 1e-12);
+  (* Adaptive: cache S(2) at step 0 (collects R=2 at step 1); if S=3
+     observed at step 1, swap to it and collect R=3 at step 2.
+     Value: 1 + 0.5*1 = 1.5.  Plans: keep S(2) both = 1; S(2) then
+     always-swap = 1 + 0.5 = 1.5... (swapping to a "None" S tuple loses
+     nothing here since S(2) has no further matches). So they tie at 1.5. *)
+  check_float ~eps:1e-9 "adaptive value" 1.5 adaptive;
+  check_float ~eps:1e-9 "plan value" 1.5 plan
+
+let test_capacity_two_keeps_both () =
+  let steps =
+    [ det (Some 1) (Some 2); det (Some 2) (Some 1); det (Some 2) (Some 1) ]
+  in
+  (* Cache {R(1), S(2)}: R(1) joins S=1 arrivals (steps 1,2); S(2) joins
+     R=2 arrivals (steps 1,2): 4 results. *)
+  check_float "both directions counted" 4.0
+    (Expectimax.best
+       ~cache:[ (Tuple.R, 1); (Tuple.S, 2) ]
+       ~capacity:2 ~steps)
+
+let test_probability_weighting () =
+  let steps : Expectimax.step list =
+    [ [ (0.3, (Some 5, None)); (0.7, (None, None)) ] ]
+  in
+  check_float ~eps:1e-12 "expected benefit" 0.3
+    (Expectimax.best ~cache:[ (Tuple.S, 5) ] ~capacity:1 ~steps)
+
+let prop_plan_never_beats_adaptive =
+  qcheck ~count:100 "plans never beat adaptive strategies"
+    QCheck2.Gen.(
+      let arrival =
+        oneof [ return None; map (fun v -> Some v) (int_range 1 2) ]
+      in
+      let* n = int_range 1 3 in
+      list_repeat n
+        (let* o1 = arrival and* o2 = arrival and* o3 = arrival and* o4 = arrival in
+         let* p = float_range 0.1 0.9 in
+         return [ (p, (o1, o2)); (1.0 -. p, (o3, o4)) ]))
+    (fun steps ->
+      let cache = [ (Tuple.S, 1) ] in
+      Expectimax.best_plan_benefit ~cache ~capacity:1 ~steps
+      <= Expectimax.best ~cache ~capacity:1 ~steps +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "deterministic benefits" `Quick
+      test_deterministic_benefit;
+    Alcotest.test_case "replacement decision" `Quick test_replacement_decision;
+    Alcotest.test_case "adaptive vs plan" `Quick test_adaptive_beats_plan;
+    Alcotest.test_case "capacity two" `Quick test_capacity_two_keeps_both;
+    Alcotest.test_case "probability weighting" `Quick
+      test_probability_weighting;
+    prop_plan_never_beats_adaptive;
+  ]

@@ -1,0 +1,200 @@
+open Ssj_flow
+open Helpers
+
+(* --- heap ----------------------------------------------------------- *)
+
+let test_heap_orders () =
+  let h = Heap.create () in
+  List.iter (fun (p, x) -> Heap.push h p x) [ (3.0, "c"); (1.0, "a"); (2.0, "b") ];
+  check_int "size" 3 (Heap.size h);
+  let pop () = match Heap.pop_min h with Some (_, x) -> x | None -> "?" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ]
+    [ first; second; third ];
+  check_bool "empty" true (Heap.is_empty h)
+
+let test_heap_peek_and_clear () =
+  let h = Heap.create () in
+  Heap.push h 5.0 1;
+  Heap.push h 2.0 2;
+  (match Heap.peek_min h with
+  | Some (p, x) ->
+    check_float "peek prio" 2.0 p;
+    check_int "peek item" 2 x
+  | None -> Alcotest.fail "expected peek");
+  Heap.clear h;
+  check_bool "cleared" true (Heap.is_empty h)
+
+let prop_heapsort =
+  qcheck "heap pops in sorted order"
+    QCheck2.Gen.(list_size (int_range 0 100) (float_range (-100.0) 100.0))
+    (fun prios ->
+      let h = Heap.create () in
+      List.iteri (fun i p -> Heap.push h p i) prios;
+      let rec drain acc =
+        match Heap.pop_min h with
+        | Some (p, _) -> drain (p :: acc)
+        | None -> List.rev acc
+      in
+      let popped = drain [] in
+      popped = List.sort Float.compare prios)
+
+(* --- mcmf ----------------------------------------------------------- *)
+
+let test_simple_path () =
+  let g = Mcmf.create 3 in
+  let a = Mcmf.add_arc g ~src:0 ~dst:1 ~cap:2 ~cost:1.0 in
+  let b = Mcmf.add_arc g ~src:1 ~dst:2 ~cap:2 ~cost:2.0 in
+  let r = Mcmf.solve g ~source:0 ~sink:2 ~target:2 in
+  check_int "flow" 2 r.Mcmf.flow;
+  check_float "cost" 6.0 r.Mcmf.cost;
+  check_int "flow on a" 2 (Mcmf.flow_on g a);
+  check_int "flow on b" 2 (Mcmf.flow_on g b)
+
+let test_prefers_cheap_path () =
+  (* Two parallel paths; the cheap one must carry the first unit. *)
+  let g = Mcmf.create 4 in
+  let cheap = Mcmf.add_arc g ~src:0 ~dst:1 ~cap:1 ~cost:1.0 in
+  let _ = Mcmf.add_arc g ~src:1 ~dst:3 ~cap:1 ~cost:0.0 in
+  let expensive = Mcmf.add_arc g ~src:0 ~dst:2 ~cap:1 ~cost:5.0 in
+  let _ = Mcmf.add_arc g ~src:2 ~dst:3 ~cap:1 ~cost:0.0 in
+  let r = Mcmf.solve g ~source:0 ~sink:3 ~target:1 in
+  check_float "one unit, cheap" 1.0 r.Mcmf.cost;
+  check_int "cheap used" 1 (Mcmf.flow_on g cheap);
+  check_int "expensive unused" 0 (Mcmf.flow_on g expensive)
+
+let test_negative_costs () =
+  (* Negative arcs (benefits) must be handled by the Bellman–Ford
+     potentials. *)
+  let g = Mcmf.create 4 in
+  let _ = Mcmf.add_arc g ~src:0 ~dst:1 ~cap:1 ~cost:0.0 in
+  let _ = Mcmf.add_arc g ~src:1 ~dst:3 ~cap:1 ~cost:(-5.0) in
+  let _ = Mcmf.add_arc g ~src:0 ~dst:2 ~cap:1 ~cost:0.0 in
+  let _ = Mcmf.add_arc g ~src:2 ~dst:3 ~cap:1 ~cost:(-1.0) in
+  let r = Mcmf.solve g ~source:0 ~sink:3 ~target:1 in
+  check_float "picks most negative" (-5.0) r.Mcmf.cost
+
+let test_rerouting_through_residual () =
+  (* Classic instance where the optimum needs a residual (backward) arc. *)
+  let g = Mcmf.create 4 in
+  let _ = Mcmf.add_arc g ~src:0 ~dst:1 ~cap:1 ~cost:1.0 in
+  let _ = Mcmf.add_arc g ~src:0 ~dst:2 ~cap:1 ~cost:10.0 in
+  let _ = Mcmf.add_arc g ~src:1 ~dst:2 ~cap:1 ~cost:(-20.0) in
+  let _ = Mcmf.add_arc g ~src:1 ~dst:3 ~cap:1 ~cost:1.0 in
+  let _ = Mcmf.add_arc g ~src:2 ~dst:3 ~cap:1 ~cost:1.0 in
+  let r = Mcmf.solve g ~source:0 ~sink:3 ~target:2 in
+  check_int "flow 2" 2 r.Mcmf.flow;
+  (* First augmentation takes 0-1-2-3 (cost -18); the second must cancel
+     the 1-2 arc through its residual (0-2, residual 2-1, 1-3: cost 31),
+     which lands on the true optimum {0-1-3, 0-2-3} = 2 + 11 = 13. *)
+  check_float "optimal with residual" 13.0 r.Mcmf.cost
+
+let test_insufficient_capacity () =
+  let g = Mcmf.create 2 in
+  let _ = Mcmf.add_arc g ~src:0 ~dst:1 ~cap:3 ~cost:1.0 in
+  let r = Mcmf.solve g ~source:0 ~sink:1 ~target:10 in
+  check_int "partial flow" 3 r.Mcmf.flow
+
+let test_min_cost_max_flow_stops_at_zero () =
+  let g = Mcmf.create 3 in
+  let _ = Mcmf.add_arc g ~src:0 ~dst:1 ~cap:1 ~cost:(-2.0) in
+  let _ = Mcmf.add_arc g ~src:1 ~dst:2 ~cap:1 ~cost:1.0 in
+  let _ = Mcmf.add_arc g ~src:0 ~dst:2 ~cap:5 ~cost:3.0 in
+  let r = Mcmf.solve_min_cost_max_flow g ~source:0 ~sink:2 in
+  check_int "only the profitable unit" 1 r.Mcmf.flow;
+  check_float "profit" (-1.0) r.Mcmf.cost
+
+(* Random small graphs: agree with the independent cycle-cancelling
+   oracle. *)
+let gen_graph =
+  QCheck2.Gen.(
+    let* nodes = int_range 3 7 in
+    let* narcs = int_range 1 14 in
+    let* arcs =
+      list_repeat narcs
+        (let* src = int_range 0 (nodes - 1) in
+         let* dst = int_range 0 (nodes - 1) in
+         let* cap = int_range 0 3 in
+         let* cost = int_range (-8) 8 in
+         return (src, dst, cap, float_of_int cost))
+    in
+    (* Keep it acyclic (forward arcs only) so negative costs are safe. *)
+    let arcs =
+      List.filter_map
+        (fun (s, d, c, w) ->
+          if s < d then Some (s, d, c, w)
+          else if d < s then Some (d, s, c, w)
+          else None)
+        arcs
+    in
+    let* target = int_range 1 4 in
+    return ({ Mcmf_check.nodes; arcs = Array.of_list arcs }, target))
+
+let prop_matches_oracle =
+  qcheck ~count:300 "solver agrees with cycle-cancelling oracle" gen_graph
+    (fun (spec, target) ->
+      let source = 0 and sink = spec.Mcmf_check.nodes - 1 in
+      let g = Mcmf.create spec.Mcmf_check.nodes in
+      Array.iter
+        (fun (src, dst, cap, cost) ->
+          ignore (Mcmf.add_arc g ~src ~dst ~cap ~cost))
+        spec.Mcmf_check.arcs;
+      let fast = Mcmf.solve g ~source ~sink ~target in
+      let slow_flow, slow_cost =
+        Mcmf_check.min_cost_flow spec ~source ~sink ~target
+      in
+      fast.Mcmf.flow = slow_flow
+      && Float.abs (fast.Mcmf.cost -. slow_cost) < 1e-6)
+
+let prop_flow_conservation =
+  qcheck ~count:200 "flow conservation and capacity limits" gen_graph
+    (fun (spec, target) ->
+      let source = 0 and sink = spec.Mcmf_check.nodes - 1 in
+      let g = Mcmf.create spec.Mcmf_check.nodes in
+      let handles =
+        Array.map
+          (fun (src, dst, cap, cost) ->
+            (Mcmf.add_arc g ~src ~dst ~cap ~cost, src, dst, cap))
+          spec.Mcmf_check.arcs
+      in
+      let r = Mcmf.solve g ~source ~sink ~target in
+      let balance = Array.make spec.Mcmf_check.nodes 0 in
+      let ok = ref true in
+      Array.iter
+        (fun (h, src, dst, cap) ->
+          let f = Mcmf.flow_on g h in
+          if f < 0 || f > cap then ok := false;
+          balance.(src) <- balance.(src) - f;
+          balance.(dst) <- balance.(dst) + f)
+        handles;
+      Array.iteri
+        (fun v b ->
+          if v = source then begin
+            if b <> -r.Mcmf.flow then ok := false
+          end
+          else if v = sink then begin
+            if b <> r.Mcmf.flow then ok := false
+          end
+          else if b <> 0 then ok := false)
+        balance;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "heap orders" `Quick test_heap_orders;
+    Alcotest.test_case "heap peek/clear" `Quick test_heap_peek_and_clear;
+    prop_heapsort;
+    Alcotest.test_case "simple path" `Quick test_simple_path;
+    Alcotest.test_case "prefers cheap path" `Quick test_prefers_cheap_path;
+    Alcotest.test_case "negative costs" `Quick test_negative_costs;
+    Alcotest.test_case "residual rerouting" `Quick
+      test_rerouting_through_residual;
+    Alcotest.test_case "insufficient capacity" `Quick
+      test_insufficient_capacity;
+    Alcotest.test_case "max-flow variant stops at zero profit" `Quick
+      test_min_cost_max_flow_stops_at_zero;
+    prop_matches_oracle;
+    prop_flow_conservation;
+  ]

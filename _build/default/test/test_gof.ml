@@ -1,0 +1,88 @@
+open Ssj_prob
+open Helpers
+
+let test_chi_square_perfect_fit () =
+  let expected = Pmf.of_assoc [ (0, 0.5); (1, 0.5) ] in
+  let stat, dof =
+    Gof.chi_square ~observed:[ (0, 500); (1, 500) ] ~expected ~total:1000
+  in
+  check_float ~eps:1e-12 "zero statistic" 0.0 stat;
+  check_int "one dof" 1 dof;
+  check_float ~eps:1e-9 "p-value 1" 1.0 (Gof.chi_square_pvalue ~stat ~dof)
+
+let test_chi_square_detects_bias () =
+  let expected = Pmf.of_assoc [ (0, 0.5); (1, 0.5) ] in
+  let stat, dof =
+    Gof.chi_square ~observed:[ (0, 800); (1, 200) ] ~expected ~total:1000
+  in
+  check_bool "large statistic" true (stat > 100.0);
+  check_bool "tiny p-value" true (Gof.chi_square_pvalue ~stat ~dof < 1e-6)
+
+let test_pvalue_calibration () =
+  (* Known quantile: Pr{chi2_1 >= 3.841} = 0.05. *)
+  check_float ~eps:0.01 "95th percentile of chi2_1" 0.05
+    (Gof.chi_square_pvalue ~stat:3.841 ~dof:1);
+  check_float ~eps:0.01 "95th percentile of chi2_10" 0.05
+    (Gof.chi_square_pvalue ~stat:18.307 ~dof:10)
+
+let test_pooling_small_cells () =
+  (* A long-tailed pmf with tiny cells must be pooled, keeping dof sane. *)
+  let expected =
+    Pmf.of_assoc (List.init 50 (fun i -> (i, 1.0 /. (1.0 +. float_of_int i))))
+  in
+  let observed = [ (0, 30); (1, 15); (2, 10); (3, 8) ] in
+  let _, dof = Gof.chi_square ~observed ~expected ~total:63 in
+  check_bool "pooled dof below support size" true (dof < 50)
+
+let test_pmf_sampler_passes () =
+  let expected = Dist.discretized_normal ~sigma:2.0 ~bound:8 in
+  let p =
+    Gof.sample_test ~rng:(rng 5) ~draws:20_000
+      ~sampler:(fun r -> Pmf.sample expected r)
+      ~expected
+  in
+  check_bool "sampler matches its pmf (p > 1e-3)" true (p > 1e-3)
+
+let test_wrong_sampler_fails () =
+  let expected = Dist.discretized_normal ~sigma:2.0 ~bound:8 in
+  let skewed = Dist.discretized_normal_mu ~mu:1.0 ~sigma:2.0 ~lo:(-8) ~hi:8 in
+  let p =
+    Gof.sample_test ~rng:(rng 5) ~draws:20_000
+      ~sampler:(fun r -> Pmf.sample skewed r)
+      ~expected
+  in
+  check_bool "shifted sampler rejected" true (p < 1e-6)
+
+let test_stream_generators_pass_gof () =
+  (* End-to-end: the linear-trend generator's residuals match the noise
+     pmf, and walk increments match the step pmf. *)
+  let noise = Dist.uniform ~lo:(-10) ~hi:10 in
+  let pred =
+    Ssj_model.Linear_trend.linear ~time:(-1) ~speed:1 ~offset:0 ~noise ()
+  in
+  let path, _ = Ssj_model.Predictor.generate pred (rng 12) 20_000 in
+  let residuals = Array.mapi (fun t v -> v - t) path in
+  let counts = Hashtbl.create 64 in
+  Array.iter
+    (fun v ->
+      Hashtbl.replace counts v
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts v)))
+    residuals;
+  let observed = Hashtbl.fold (fun v c acc -> (v, c) :: acc) counts [] in
+  let stat, dof =
+    Gof.chi_square ~observed ~expected:noise ~total:(Array.length residuals)
+  in
+  check_bool "trend noise calibrated" true
+    (Gof.chi_square_pvalue ~stat ~dof > 1e-3)
+
+let suite =
+  [
+    Alcotest.test_case "perfect fit" `Quick test_chi_square_perfect_fit;
+    Alcotest.test_case "detects bias" `Quick test_chi_square_detects_bias;
+    Alcotest.test_case "p-value calibration" `Quick test_pvalue_calibration;
+    Alcotest.test_case "small-cell pooling" `Quick test_pooling_small_cells;
+    Alcotest.test_case "sampler accepted" `Slow test_pmf_sampler_passes;
+    Alcotest.test_case "biased sampler rejected" `Slow test_wrong_sampler_fails;
+    Alcotest.test_case "trend generator calibrated" `Slow
+      test_stream_generators_pass_gof;
+  ]

@@ -1,0 +1,191 @@
+open Ssj_prob
+open Ssj_model
+open Ssj_stream
+open Ssj_core
+open Helpers
+
+let tower = Ssj_workload.Config.tower ()
+
+let tower_trace ~length ~seed =
+  let r, s = Ssj_workload.Config.predictors tower in
+  Trace.generate ~r ~s ~rng:(rng seed) ~length
+
+let run_joining policy ~trace ~capacity =
+  Ssj_engine.Join_sim.run ~trace ~policy ~capacity ~validate:true ()
+
+let heeb_with mode =
+  let r, s = Ssj_workload.Config.predictors tower in
+  let l = Lfun.exp_ ~alpha:(Ssj_workload.Config.alpha tower) in
+  Heeb.joining ~r ~s ~l ~mode ()
+
+let test_modes_agree () =
+  (* Direct, incremental and trend-memoised HEEB are the same policy
+     computed three ways: identical decisions, identical counts. *)
+  let trace = tower_trace ~length:400 ~seed:3 in
+  let alpha = Ssj_workload.Config.alpha tower in
+  let count mode =
+    (run_joining (heeb_with mode) ~trace ~capacity:8).Ssj_engine.Join_sim
+      .total_results
+  in
+  let direct = count `Direct in
+  let incremental = count (`Incremental { Heeb.alpha; refresh_every = 64 }) in
+  let memo = count (`Memo_trend 1) in
+  check_int "incremental = direct" direct incremental;
+  check_int "memo = direct" direct memo
+
+let test_incremental_refresh_resists_drift () =
+  (* Even with a very long refresh period the float drift must not change
+     decisions on a moderate run. *)
+  let trace = tower_trace ~length:400 ~seed:4 in
+  let alpha = Ssj_workload.Config.alpha tower in
+  let direct =
+    (run_joining (heeb_with `Direct) ~trace ~capacity:8).Ssj_engine.Join_sim
+      .total_results
+  in
+  let lazy_refresh =
+    (run_joining
+       (heeb_with (`Incremental { Heeb.alpha; refresh_every = 4096 }))
+       ~trace ~capacity:8)
+      .Ssj_engine.Join_sim
+      .total_results
+  in
+  check_int "long refresh still agrees" direct lazy_refresh
+
+let test_heeb_stationary_matches_prob_model () =
+  (* Section 5.2: for stationary independent streams, HEEB's ranking
+     reduces to PROB's (the provably optimal policy). Identical ranking
+     means identical join counts when tie-breaks agree. *)
+  let dist =
+    Pmf.of_assoc [ (1, 0.05); (2, 0.15); (3, 0.30); (4, 0.50) ]
+  in
+  let make_preds () =
+    (Stationary.create ~time:(-1) dist, Stationary.create ~time:(-1) dist)
+  in
+  let r, s = make_preds () in
+  let trace = Trace.generate ~r ~s ~rng:(rng 11) ~length:600 in
+  let heeb =
+    let r, s = make_preds () in
+    Heeb.joining ~r ~s ~l:(Lfun.exp_ ~alpha:10.0) ()
+  in
+  let prob =
+    Baselines.prob_model
+      ~partner_prob:(fun t -> Pmf.prob dist t.Tuple.value)
+      ()
+  in
+  let c_heeb = (run_joining heeb ~trace ~capacity:5).Ssj_engine.Join_sim.total_results in
+  let c_prob = (run_joining prob ~trace ~capacity:5).Ssj_engine.Join_sim.total_results in
+  check_int "HEEB = PROB-model on stationary input" c_prob c_heeb
+
+let test_heeb_caching_offline_equals_lfd () =
+  (* Section 5.1: offline caching ECBs are single-step functions ordered
+     by next reference; HEEB with any admissible L makes LFD decisions. *)
+  let r = rng 21 in
+  for _ = 1 to 10 do
+    let n = 40 in
+    let reference = Array.init n (fun _ -> Rng.int r 6) in
+    let capacity = 2 in
+    let heeb =
+      Heeb.caching
+        ~reference:(Offline.create reference)
+        ~l:(Lfun.exp_ ~alpha:8.0) ()
+    in
+    let lfd = Classic.lfd ~reference in
+    let run p =
+      (Ssj_engine.Cache_sim.run ~reference ~policy:p ~capacity ~validate:true ())
+        .Ssj_engine.Cache_sim.hits
+    in
+    check_int "HEEB(offline) = LFD hits" (run lfd) (run heeb)
+  done
+
+let test_heeb_caching_stationary_equals_lfu_model () =
+  let dist = Pmf.of_assoc [ (1, 0.5); (2, 0.3); (3, 0.15); (4, 0.05) ] in
+  let reference =
+    let p = Stationary.create dist in
+    fst (Predictor.generate p (rng 31) 500)
+  in
+  let heeb =
+    Heeb.caching ~reference:(Stationary.create dist) ~l:(Lfun.exp_ ~alpha:10.0)
+      ()
+  in
+  let a0 = Classic.lfu_model ~prob:(fun v -> Pmf.prob dist v) in
+  let run p =
+    (Ssj_engine.Cache_sim.run ~reference ~policy:p ~capacity:2 ~validate:true ())
+      .Ssj_engine.Cache_sim.hits
+  in
+  check_int "HEEB = A0 on stationary reference" (run a0) (run heeb)
+
+let test_caching_incremental_matches_direct () =
+  let dist = Pmf.of_assoc [ (1, 0.4); (2, 0.3); (3, 0.2); (4, 0.1) ] in
+  let reference =
+    let p = Stationary.create dist in
+    fst (Predictor.generate p (rng 41) 300)
+  in
+  let run mode =
+    let policy =
+      Heeb.caching ~reference:(Stationary.create dist)
+        ~l:(Lfun.exp_ ~alpha:6.0) ~mode ()
+    in
+    (Ssj_engine.Cache_sim.run ~reference ~policy ~capacity:2 ~validate:true ())
+      .Ssj_engine.Cache_sim.hits
+  in
+  check_int "incremental caching = direct"
+    (run `Direct)
+    (run (`Incremental { Heeb.alpha = 6.0; refresh_every = 64 }))
+
+let test_joining_curves_policy_runs () =
+  let w = Ssj_workload.Config.walk () in
+  let r, s = Ssj_workload.Config.walk_predictors w in
+  let trace = Trace.generate ~r ~s ~rng:(rng 51) ~length:300 in
+  let policy = Ssj_workload.Factory.walk_heeb w ~capacity:8 () in
+  let result = run_joining policy ~trace ~capacity:8 in
+  check_bool "produces results" true (result.Ssj_engine.Join_sim.total_results > 0)
+
+let test_adaptive_alpha_tracks_fixed () =
+  (* The adaptive-alpha variant should be competitive with the hand-tuned
+     alpha on TOWER (within 10%), and its lifetime estimate must settle in
+     a sane range. *)
+  let trace = tower_trace ~length:1200 ~seed:6 in
+  let capacity = 10 in
+  let count policy =
+    (run_joining policy ~trace ~capacity).Ssj_engine.Join_sim.total_results
+  in
+  let fixed = count (Ssj_workload.Factory.trend_heeb tower ()) in
+  let adaptive =
+    let r, s = Ssj_workload.Config.predictors tower in
+    count (Heeb.joining_adaptive ~r ~s ())
+  in
+  check_bool "within 10% of tuned alpha" true
+    (float_of_int adaptive >= 0.9 *. float_of_int fixed)
+
+let test_heeb_beats_baselines_on_tower () =
+  (* The headline claim at working scale: HEEB > PROB and LIFE on TOWER. *)
+  let trace = tower_trace ~length:1500 ~seed:8 in
+  let capacity = 10 in
+  let count policy = (run_joining policy ~trace ~capacity).Ssj_engine.Join_sim.total_results in
+  let heeb = count (Ssj_workload.Factory.trend_heeb tower ()) in
+  let lifetime = Ssj_workload.Config.lifetime tower in
+  let prob = count (Baselines.prob ~lifetime ()) in
+  let life = count (Baselines.life ~lifetime ()) in
+  check_bool "HEEB > PROB" true (heeb > prob);
+  check_bool "HEEB > LIFE" true (heeb > life)
+
+let suite =
+  [
+    Alcotest.test_case "modes agree" `Quick test_modes_agree;
+    Alcotest.test_case "incremental drift control" `Quick
+      test_incremental_refresh_resists_drift;
+    Alcotest.test_case "stationary HEEB = PROB (Section 5.2)" `Quick
+      test_heeb_stationary_matches_prob_model;
+    Alcotest.test_case "offline caching HEEB = LFD (Section 5.1)" `Slow
+      test_heeb_caching_offline_equals_lfd;
+    Alcotest.test_case "stationary caching HEEB = A0 (Section 5.2)" `Quick
+      test_heeb_caching_stationary_equals_lfu_model;
+    Alcotest.test_case "caching incremental = direct" `Quick
+      test_caching_incremental_matches_direct;
+    Alcotest.test_case "walk curve policy" `Quick
+      test_joining_curves_policy_runs;
+    Alcotest.test_case "adaptive alpha tracks fixed" `Slow
+      test_adaptive_alpha_tracks_fixed;
+    Alcotest.test_case "HEEB beats baselines on TOWER" `Slow
+      test_heeb_beats_baselines_on_tower;
+  ]

@@ -1,0 +1,145 @@
+open Ssj_core
+open Helpers
+
+let test_curve_exact_at_samples () =
+  let c = Interp.Curve.create ~x0:(-2.0) ~dx:1.0 [| 4.0; 1.0; 0.0; 1.0; 4.0 |] in
+  check_float "sample" 1.0 (Interp.Curve.eval c (-1.0));
+  check_float "midpoint linear" 0.5 (Interp.Curve.eval c (-0.5));
+  check_float "clamp left" 4.0 (Interp.Curve.eval c (-10.0));
+  check_float "clamp right" 4.0 (Interp.Curve.eval c 10.0)
+
+let test_curve_rejects_bad_input () =
+  Alcotest.check_raises "one sample"
+    (Invalid_argument "Interp.Curve.create: need >= 2 samples") (fun () ->
+      ignore (Interp.Curve.create ~x0:0.0 ~dx:1.0 [| 1.0 |]))
+
+let surface_of f ~x0 ~dx ~y0 ~dy ~nx ~ny =
+  Interp.Surface.create ~x0 ~dx ~y0 ~dy
+    (Array.init nx (fun i ->
+         Array.init ny (fun j ->
+             f (x0 +. (float_of_int i *. dx)) (y0 +. (float_of_int j *. dy)))))
+
+let test_surface_interpolates_samples () =
+  let f x y = (2.0 *. x) +. (3.0 *. y) +. (x *. y) in
+  let s = surface_of f ~x0:0.0 ~dx:1.0 ~y0:0.0 ~dy:1.0 ~nx:6 ~ny:6 in
+  for i = 0 to 5 do
+    for j = 0 to 5 do
+      check_float ~eps:1e-9 "node value"
+        (f (float_of_int i) (float_of_int j))
+        (Interp.Surface.eval s (float_of_int i) (float_of_int j))
+    done
+  done
+
+let test_surface_reproduces_bilinear () =
+  (* Catmull-Rom bicubic reproduces polynomials up to degree 3 in each
+     variable away from the clamped border; a bilinear function is exact
+     even with the border clamping. *)
+  let f x y = 1.0 +. (2.0 *. x) -. (0.5 *. y) in
+  let s = surface_of f ~x0:0.0 ~dx:1.0 ~y0:0.0 ~dy:1.0 ~nx:8 ~ny:8 in
+  List.iter
+    (fun (x, y) ->
+      check_float ~eps:1e-9
+        (Printf.sprintf "bilinear at (%.2f, %.2f)" x y)
+        (f x y)
+        (Interp.Surface.eval s x y))
+    [ (2.5, 3.5); (1.25, 4.75); (3.0, 3.0); (4.9, 2.1) ]
+
+let test_surface_smooth_approximation () =
+  (* Interior accuracy on a smooth non-polynomial function. *)
+  let f x y = sin (x /. 3.0) *. cos (y /. 4.0) in
+  let s = surface_of f ~x0:0.0 ~dx:1.0 ~y0:0.0 ~dy:1.0 ~nx:12 ~ny:12 in
+  let max_err = ref 0.0 in
+  for i = 20 to 90 do
+    for j = 20 to 90 do
+      let x = float_of_int i /. 10.0 and y = float_of_int j /. 10.0 in
+      let err = Float.abs (f x y -. Interp.Surface.eval s x y) in
+      if err > !max_err then max_err := err
+    done
+  done;
+  check_bool "interior error < 1e-3" true (!max_err < 1e-3)
+
+let test_surface_clamps () =
+  let f x y = x +. y in
+  let s = surface_of f ~x0:0.0 ~dx:1.0 ~y0:0.0 ~dy:1.0 ~nx:4 ~ny:4 in
+  check_float ~eps:1e-9 "clamped corner" 0.0 (Interp.Surface.eval s (-5.0) (-5.0));
+  check_float ~eps:1e-9 "clamped far corner" 6.0 (Interp.Surface.eval s 99.0 99.0)
+
+let test_surface_rejects_ragged () =
+  Alcotest.check_raises "ragged"
+    (Invalid_argument "Interp.Surface.create: ragged rows") (fun () ->
+      ignore
+        (Interp.Surface.create ~x0:0.0 ~dx:1.0 ~y0:0.0 ~dy:1.0
+           [| [| 1.0; 2.0 |]; [| 1.0 |] |]))
+
+let prop_curve_monotone_data =
+  qcheck "linear interpolation stays within data bounds"
+    QCheck2.Gen.(
+      let* ys = list_size (int_range 2 10) (float_range (-5.0) 5.0) in
+      let* x = float_range (-2.0) 12.0 in
+      return (Array.of_list ys, x))
+    (fun (ys, x) ->
+      let c = Interp.Curve.create ~x0:0.0 ~dx:1.0 ys in
+      let v = Interp.Curve.eval c x in
+      let lo = Array.fold_left Float.min Float.infinity ys in
+      let hi = Array.fold_left Float.max Float.neg_infinity ys in
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
+let test_curve_roundtrip () =
+  let c =
+    Interp.Curve.create ~x0:(-3.5) ~dx:0.25 [| 1.0; -2.5; 3.75; 0.001 |]
+  in
+  let file = Filename.temp_file "ssj_curve" ".txt" in
+  Interp.Curve.save c ~filename:file;
+  let back = Interp.Curve.load ~filename:file in
+  Sys.remove file;
+  check_float ~eps:0.0 "x0" (Interp.Curve.x0 c) (Interp.Curve.x0 back);
+  check_float ~eps:0.0 "dx" (Interp.Curve.dx c) (Interp.Curve.dx back);
+  Alcotest.(check (array (float 0.0)))
+    "samples bit-exact" (Interp.Curve.samples c) (Interp.Curve.samples back)
+
+let test_surface_roundtrip () =
+  let s =
+    surface_of (fun x y -> sin x +. (0.1 *. y)) ~x0:0.0 ~dx:0.5 ~y0:(-1.0)
+      ~dy:2.0 ~nx:4 ~ny:3
+  in
+  let file = Filename.temp_file "ssj_surface" ".txt" in
+  Interp.Surface.save s ~filename:file;
+  let back = Interp.Surface.load ~filename:file in
+  Sys.remove file;
+  List.iter
+    (fun (x, y) ->
+      check_float ~eps:0.0 "values bit-exact" (Interp.Surface.eval s x y)
+        (Interp.Surface.eval back x y))
+    [ (0.3, 0.7); (1.2, -0.5); (0.0, 0.0) ]
+
+let test_load_rejects_garbage () =
+  let file = Filename.temp_file "ssj_curve" ".txt" in
+  let oc = open_out file in
+  output_string oc "not-a-curve\n";
+  close_out oc;
+  (try
+     ignore (Interp.Curve.load ~filename:file);
+     Sys.remove file;
+     Alcotest.fail "expected magic failure"
+   with Failure _ -> Sys.remove file)
+
+let suite =
+  [
+    Alcotest.test_case "curve save/load" `Quick test_curve_roundtrip;
+    Alcotest.test_case "surface save/load" `Quick test_surface_roundtrip;
+    Alcotest.test_case "load rejects garbage" `Quick test_load_rejects_garbage;
+    Alcotest.test_case "curve samples and clamps" `Quick
+      test_curve_exact_at_samples;
+    Alcotest.test_case "curve input validation" `Quick
+      test_curve_rejects_bad_input;
+    Alcotest.test_case "surface interpolates nodes" `Quick
+      test_surface_interpolates_samples;
+    Alcotest.test_case "surface exact on bilinear" `Quick
+      test_surface_reproduces_bilinear;
+    Alcotest.test_case "surface smooth accuracy" `Quick
+      test_surface_smooth_approximation;
+    Alcotest.test_case "surface clamps outside" `Quick test_surface_clamps;
+    Alcotest.test_case "surface rejects ragged rows" `Quick
+      test_surface_rejects_ragged;
+    prop_curve_monotone_data;
+  ]

@@ -1,0 +1,77 @@
+open Ssj_core
+open Helpers
+
+let test_fixed () =
+  let l = Lfun.fixed 3 in
+  check_float "inside" 1.0 (l.Lfun.l 1);
+  check_float "boundary" 1.0 (l.Lfun.l 3);
+  check_float "outside" 0.0 (l.Lfun.l 4);
+  check_int "horizon" 3 l.Lfun.horizon;
+  Alcotest.check_raises "bad window" (Invalid_argument "Lfun.fixed: window < 1")
+    (fun () -> ignore (Lfun.fixed 0))
+
+let test_exp () =
+  let l = Lfun.exp_ ~alpha:5.0 in
+  check_float ~eps:1e-12 "value" (exp (-0.2)) (l.Lfun.l 1);
+  check_float ~eps:1e-12 "decay ratio" (exp (-0.2)) (l.Lfun.l 7 /. l.Lfun.l 6);
+  (* Horizon covers the 1e-12 tail. *)
+  let r = exp (-1.0 /. 5.0) in
+  let tail = (r ** float_of_int (l.Lfun.horizon + 1)) /. (1.0 -. r) in
+  check_bool "tail small" true (tail < 1e-12);
+  let tail_before = (r ** float_of_int l.Lfun.horizon) /. (1.0 -. r) in
+  check_bool "horizon tight" true (tail_before >= 1e-12)
+
+let test_inf_inv () =
+  check_float "inf" 1.0 (Lfun.inf.Lfun.l 1000);
+  check_float "inv" 0.25 (Lfun.inv.Lfun.l 4)
+
+let test_windowed () =
+  let l = Lfun.windowed (Lfun.exp_ ~alpha:5.0) ~remaining:3 in
+  check_bool "inside" true (l.Lfun.l 3 > 0.0);
+  check_float "outside" 0.0 (l.Lfun.l 4);
+  check_int "horizon truncated" 3 l.Lfun.horizon;
+  let dead = Lfun.windowed Lfun.inf ~remaining:(-2) in
+  check_float "expired tuple" 0.0 (dead.Lfun.l 1)
+
+let test_alpha_lifetime_roundtrip () =
+  List.iter
+    (fun lifetime ->
+      let alpha = Lfun.alpha_for_lifetime lifetime in
+      check_float ~eps:1e-9
+        (Printf.sprintf "roundtrip %.1f" lifetime)
+        lifetime
+        (Lfun.predicted_lifetime ~alpha))
+    [ 1.5; 3.0; 12.5; 100.0 ];
+  Alcotest.check_raises "lifetime too small"
+    (Invalid_argument "Lfun.alpha_for_lifetime: lifetime <= 1") (fun () ->
+      ignore (Lfun.alpha_for_lifetime 1.0))
+
+let test_validate () =
+  List.iter
+    (fun l ->
+      match Lfun.validate l ~upto:50 with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "%s failed validation: %s" l.Lfun.name msg)
+    [ Lfun.fixed 7; Lfun.inf; Lfun.inv; Lfun.exp_ ~alpha:3.0;
+      Lfun.windowed (Lfun.exp_ ~alpha:3.0) ~remaining:10 ];
+  let bad = { Lfun.name = "bad"; l = (fun d -> float_of_int d); horizon = 10 } in
+  check_bool "rejects increasing L" true (Lfun.validate bad ~upto:5 <> Ok ())
+
+let prop_exp_properties =
+  qcheck "L_exp satisfies properties 1-2 for random alpha"
+    QCheck2.Gen.(float_range 0.3 50.0)
+    (fun alpha ->
+      let l = Lfun.exp_ ~alpha in
+      Lfun.validate l ~upto:100 = Ok ())
+
+let suite =
+  [
+    Alcotest.test_case "L_fixed" `Quick test_fixed;
+    Alcotest.test_case "L_exp" `Quick test_exp;
+    Alcotest.test_case "L_inf / L_inv" `Quick test_inf_inv;
+    Alcotest.test_case "windowed L" `Quick test_windowed;
+    Alcotest.test_case "alpha-lifetime roundtrip" `Quick
+      test_alpha_lifetime_roundtrip;
+    Alcotest.test_case "validate" `Quick test_validate;
+    prop_exp_properties;
+  ]

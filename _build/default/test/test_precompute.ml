@@ -1,0 +1,175 @@
+open Ssj_prob
+open Ssj_model
+open Ssj_core
+open Helpers
+
+let coin = Pmf.of_assoc [ (-1, 0.5); (1, 0.5) ]
+
+let test_walk_joining_curve_matches_direct () =
+  let l = Lfun.exp_ ~alpha:5.0 in
+  let curve =
+    Precompute.walk_joining_curve ~step:coin ~drift:0 ~l ~lo:(-10) ~hi:10
+  in
+  (* Direct H for a tuple at offset d from the partner's position. *)
+  List.iter
+    (fun d ->
+      let partner = Random_walk.create ~start:0 ~drift:0 ~step:coin () in
+      let direct = Hvalue.joining ~partner ~l ~value:d in
+      check_float ~eps:1e-9
+        (Printf.sprintf "h1(%d)" d)
+        direct
+        (Interp.Curve.eval curve (float_of_int d)))
+    [ -6; -3; 0; 1; 4; 9 ]
+
+let test_walk_joining_curve_symmetric_zero_drift () =
+  let l = Lfun.exp_ ~alpha:8.0 in
+  let curve =
+    Precompute.walk_joining_curve ~step:coin ~drift:0 ~l ~lo:(-15) ~hi:15
+  in
+  for d = 0 to 15 do
+    check_float ~eps:1e-12
+      (Printf.sprintf "symmetry at %d" d)
+      (Interp.Curve.eval curve (float_of_int d))
+      (Interp.Curve.eval curve (float_of_int (-d)))
+  done
+
+let test_walk_caching_curve_matches_hvalue () =
+  let l = Lfun.exp_ ~alpha:6.0 in
+  let curve =
+    Precompute.walk_caching_curve ~step:coin ~drift:0 ~l ~lo:(-8) ~hi:8 ()
+  in
+  List.iter
+    (fun d ->
+      let kernel = Markov.of_step ~step:coin ~drift:0 ~lo:(-300) ~hi:300 in
+      let direct = Hvalue.caching_markov ~kernel ~start:0 ~l ~value:d in
+      check_float ~eps:1e-6
+        (Printf.sprintf "caching h1(%d)" d)
+        direct
+        (Interp.Curve.eval curve (float_of_int d)))
+    [ -5; -2; 0; 1; 3; 7 ]
+
+let test_walk_caching_zero_drift_ranks_by_distance () =
+  (* Section 5.5: zero drift + symmetric unimodal steps -> H decreases
+     with |v_x - x_t0| (possibly with parity wiggles for the ±1 coin, so
+     use a step with a 0 component). *)
+  let step = Pmf.of_assoc [ (-1, 0.25); (0, 0.5); (1, 0.25) ] in
+  let l = Lfun.exp_ ~alpha:10.0 in
+  let curve =
+    Precompute.walk_caching_curve ~step ~drift:0 ~l ~lo:0 ~hi:12 ()
+  in
+  for d = 1 to 12 do
+    check_bool
+      (Printf.sprintf "h(%d) <= h(%d)" d (d - 1))
+      true
+      (Interp.Curve.eval curve (float_of_int d)
+      <= Interp.Curve.eval curve (float_of_int (d - 1)) +. 1e-12)
+  done
+
+let test_walk_caching_drift_shifts_preference () =
+  (* Figure 6: positive drift makes tuples to the right more valuable. *)
+  let step = Dist.discretized_normal ~sigma:1.0 ~bound:5 in
+  let l = Lfun.exp_ ~alpha:10.0 in
+  let with_drift drift =
+    Precompute.walk_caching_curve ~step ~drift ~l ~lo:(-20) ~hi:20 ()
+  in
+  let c0 = with_drift 0 and c4 = with_drift 4 in
+  check_bool "drift 0 symmetric-ish" true
+    (Float.abs
+       (Interp.Curve.eval c0 5.0 -. Interp.Curve.eval c0 (-5.0))
+    < 1e-6);
+  check_bool "drift 4 prefers +8 to -8" true
+    (Interp.Curve.eval c4 8.0 > Interp.Curve.eval c4 (-8.0))
+
+let ar1_params = { Ar1.phi0 = 2.0; phi1 = 0.6; sigma = 2.0 }
+
+let test_ar1_joining_h_matches_predictor_sum () =
+  let l = Lfun.exp_ ~alpha:5.0 in
+  let x0 = 7 in
+  let vx = 5 in
+  let h = Precompute.ar1_joining_h ar1_params ~l ~vx ~x0 in
+  (* Direct sum through the predictor's discretised pmfs. *)
+  let pred = Ar1.create ~start:x0 ar1_params in
+  let direct = Hvalue.joining ~partner:pred ~l ~value:vx in
+  check_float ~eps:1e-4 "joining h2" direct h
+
+let test_ar1_caching_exact_vs_hvalue () =
+  let l = Lfun.exp_ ~alpha:5.0 in
+  let vx = 5 and x0 = 7 in
+  let exact = Precompute.ar1_caching_exact ar1_params ~l ~vx ~x0 () in
+  let kernel = Precompute.ar1_kernel ar1_params in
+  let direct = Hvalue.caching_markov ~kernel ~start:x0 ~l ~value:vx in
+  check_float ~eps:1e-6 "caching h2" direct exact
+
+let test_ar1_surface_interpolates_exact_at_controls () =
+  let l = Lfun.exp_ ~alpha:5.0 in
+  let surface =
+    Precompute.ar1_caching_surface ar1_params ~l ~vx_lo:(-2) ~vx_hi:10
+      ~x0_lo:(-2) ~x0_hi:10 ~nv:4 ~nx:4 ()
+  in
+  (* Control spacing 4: nodes at -2, 2, 6, 10. *)
+  List.iter
+    (fun (vx, x0) ->
+      let exact = Precompute.ar1_caching_exact ar1_params ~l ~vx ~x0 () in
+      check_float ~eps:1e-9
+        (Printf.sprintf "control (%d,%d)" vx x0)
+        exact
+        (Interp.Surface.eval surface (float_of_int vx) (float_of_int x0)))
+    [ (-2, -2); (2, 6); (6, 2); (10, 10) ]
+
+let test_ar1_surfaces_bulk_matches_single () =
+  let l1 = Lfun.exp_ ~alpha:4.0 and l2 = Lfun.exp_ ~alpha:9.0 in
+  let bulk =
+    Precompute.ar1_caching_surfaces ar1_params ~ls:[| l1; l2 |] ~vx_lo:0
+      ~vx_hi:8 ~x0_lo:0 ~x0_hi:8 ~nv:3 ~nx:3 ()
+  in
+  let single =
+    Precompute.ar1_caching_surface ar1_params ~l:l2 ~vx_lo:0 ~vx_hi:8 ~x0_lo:0
+      ~x0_hi:8 ~nv:3 ~nx:3 ()
+  in
+  List.iter
+    (fun (x, y) ->
+      check_float ~eps:1e-12 "bulk = single"
+        (Interp.Surface.eval single x y)
+        (Interp.Surface.eval bulk.(1) x y))
+    [ (0.0, 0.0); (3.3, 5.5); (8.0, 8.0) ]
+
+let test_caching_columns_multiple_ls_consistent () =
+  let kernel = Markov.of_step ~step:coin ~drift:0 ~lo:(-50) ~hi:50 in
+  let l1 = Lfun.exp_ ~alpha:3.0 and l2 = Lfun.exp_ ~alpha:10.0 in
+  let both = Precompute.caching_columns ~kernel ~target:2 ~ls:[| l1; l2 |] () in
+  let only1 = Precompute.caching_columns ~kernel ~target:2 ~ls:[| l1 |] () in
+  (* Batching with a longer-horizon L extends the DP, adding only tail
+     dust to the short-horizon column. *)
+  Array.iteri
+    (fun i v ->
+      check_float ~eps:1e-7 "column for l1 unchanged by batching" v
+        both.(0).(i))
+    only1.(0);
+  (* Larger alpha keeps tuples longer: H can only grow. *)
+  Array.iteri
+    (fun i h1 -> check_bool "alpha monotone" true (both.(1).(i) >= h1 -. 1e-12))
+    both.(0)
+
+let suite =
+  [
+    Alcotest.test_case "walk joining curve vs direct" `Quick
+      test_walk_joining_curve_matches_direct;
+    Alcotest.test_case "walk joining symmetry" `Quick
+      test_walk_joining_curve_symmetric_zero_drift;
+    Alcotest.test_case "walk caching curve vs direct" `Quick
+      test_walk_caching_curve_matches_hvalue;
+    Alcotest.test_case "Section 5.5 distance ranking" `Quick
+      test_walk_caching_zero_drift_ranks_by_distance;
+    Alcotest.test_case "Figure 6 drift preference" `Quick
+      test_walk_caching_drift_shifts_preference;
+    Alcotest.test_case "ar1 joining h2" `Quick
+      test_ar1_joining_h_matches_predictor_sum;
+    Alcotest.test_case "ar1 caching exact vs hvalue" `Quick
+      test_ar1_caching_exact_vs_hvalue;
+    Alcotest.test_case "ar1 surface exact at controls" `Slow
+      test_ar1_surface_interpolates_exact_at_controls;
+    Alcotest.test_case "bulk surfaces consistent" `Slow
+      test_ar1_surfaces_bulk_matches_single;
+    Alcotest.test_case "caching columns batching" `Quick
+      test_caching_columns_multiple_ls_consistent;
+  ]

@@ -1,0 +1,144 @@
+open Ssj_flow
+open Helpers
+
+let test_simple_path () =
+  let g = Scaling.create 3 in
+  let a = Scaling.add_arc g ~src:0 ~dst:1 ~cap:2 ~cost:1.0 in
+  let _ = Scaling.add_arc g ~src:1 ~dst:2 ~cap:2 ~cost:2.0 in
+  let r = Scaling.solve g ~source:0 ~sink:2 ~target:2 in
+  check_int "flow" 2 r.Scaling.flow;
+  check_float ~eps:1e-9 "cost" 6.0 r.Scaling.cost;
+  check_int "per-arc flow" 2 (Scaling.flow_on g a)
+
+let test_chooses_cheap_path () =
+  let g = Scaling.create 4 in
+  let cheap = Scaling.add_arc g ~src:0 ~dst:1 ~cap:1 ~cost:1.0 in
+  let _ = Scaling.add_arc g ~src:1 ~dst:3 ~cap:1 ~cost:0.0 in
+  let expensive = Scaling.add_arc g ~src:0 ~dst:2 ~cap:1 ~cost:5.0 in
+  let _ = Scaling.add_arc g ~src:2 ~dst:3 ~cap:1 ~cost:0.0 in
+  let r = Scaling.solve g ~source:0 ~sink:3 ~target:1 in
+  check_float ~eps:1e-9 "one cheap unit" 1.0 r.Scaling.cost;
+  check_int "cheap carries it" 1 (Scaling.flow_on g cheap);
+  check_int "expensive idle" 0 (Scaling.flow_on g expensive)
+
+let test_negative_costs () =
+  let g = Scaling.create 4 in
+  let _ = Scaling.add_arc g ~src:0 ~dst:1 ~cap:1 ~cost:0.0 in
+  let _ = Scaling.add_arc g ~src:1 ~dst:3 ~cap:1 ~cost:(-5.0) in
+  let _ = Scaling.add_arc g ~src:0 ~dst:2 ~cap:1 ~cost:0.0 in
+  let _ = Scaling.add_arc g ~src:2 ~dst:3 ~cap:1 ~cost:(-1.0) in
+  let r = Scaling.solve g ~source:0 ~sink:3 ~target:1 in
+  check_float ~eps:1e-9 "most negative path" (-5.0) r.Scaling.cost
+
+let test_partial_flow () =
+  let g = Scaling.create 2 in
+  let _ = Scaling.add_arc g ~src:0 ~dst:1 ~cap:3 ~cost:1.0 in
+  let r = Scaling.solve g ~source:0 ~sink:1 ~target:10 in
+  check_int "as much as fits" 3 r.Scaling.flow
+
+(* Cross-check against the SSP solver on random integer-cost DAGs: both
+   must find the same optimum. *)
+let gen_graph =
+  QCheck2.Gen.(
+    let* nodes = int_range 3 7 in
+    let* narcs = int_range 1 14 in
+    let* arcs =
+      list_repeat narcs
+        (let* src = int_range 0 (nodes - 1) in
+         let* dst = int_range 0 (nodes - 1) in
+         let* cap = int_range 0 3 in
+         let* cost = int_range (-8) 8 in
+         return (src, dst, cap, float_of_int cost))
+    in
+    let arcs =
+      List.filter_map
+        (fun (s, d, c, w) ->
+          if s < d then Some (s, d, c, w)
+          else if d < s then Some (d, s, c, w)
+          else None)
+        arcs
+    in
+    let* target = int_range 1 4 in
+    return (nodes, arcs, target))
+
+let prop_agrees_with_ssp =
+  qcheck ~count:300 "cost-scaling optimum = SSP optimum" gen_graph
+    (fun (nodes, arcs, target) ->
+      let source = 0 and sink = nodes - 1 in
+      let ssp = Mcmf.create nodes in
+      let scal = Scaling.create nodes in
+      List.iter
+        (fun (src, dst, cap, cost) ->
+          ignore (Mcmf.add_arc ssp ~src ~dst ~cap ~cost);
+          ignore (Scaling.add_arc scal ~src ~dst ~cap ~cost))
+        arcs;
+      let a = Mcmf.solve ssp ~source ~sink ~target in
+      let b = Scaling.solve scal ~source ~sink ~target in
+      a.Mcmf.flow = b.Scaling.flow
+      && Float.abs (a.Mcmf.cost -. b.Scaling.cost) < 1e-6)
+
+let prop_fractional_costs_close =
+  qcheck ~count:100 "cost-scaling handles fractional costs" gen_graph
+    (fun (nodes, arcs, target) ->
+      (* Same graphs, but costs divided by 7 (probability-like values). *)
+      let arcs = List.map (fun (s, d, c, w) -> (s, d, c, w /. 7.0)) arcs in
+      let source = 0 and sink = nodes - 1 in
+      let ssp = Mcmf.create nodes in
+      let scal = Scaling.create nodes in
+      List.iter
+        (fun (src, dst, cap, cost) ->
+          ignore (Mcmf.add_arc ssp ~src ~dst ~cap ~cost);
+          ignore (Scaling.add_arc scal ~src ~dst ~cap ~cost))
+        arcs;
+      let a = Mcmf.solve ssp ~source ~sink ~target in
+      let b = Scaling.solve scal ~source ~sink ~target in
+      a.Mcmf.flow = b.Scaling.flow
+      && Float.abs (a.Mcmf.cost -. b.Scaling.cost) < 1e-4)
+
+let test_flowexpect_sized_instance () =
+  (* A FlowExpect-shaped layered graph solved by both backends. *)
+  let r = rng 17 in
+  let layers = 6 and width = 8 in
+  let node l i = 1 + (l * width) + i in
+  let n = 2 + (layers * width) in
+  let sink = n - 1 in
+  let ssp = Mcmf.create n in
+  let scal = Scaling.create n in
+  let both ~src ~dst ~cap ~cost =
+    ignore (Mcmf.add_arc ssp ~src ~dst ~cap ~cost);
+    ignore (Scaling.add_arc scal ~src ~dst ~cap ~cost)
+  in
+  for i = 0 to width - 1 do
+    both ~src:0 ~dst:(node 0 i) ~cap:1 ~cost:0.0
+  done;
+  for l = 0 to layers - 2 do
+    for i = 0 to width - 1 do
+      (* horizontal keep arc *)
+      both ~src:(node l i) ~dst:(node (l + 1) i) ~cap:1
+        ~cost:(-.Ssj_prob.Rng.float r 1.0);
+      (* a couple of switch arcs *)
+      both ~src:(node l i)
+        ~dst:(node (l + 1) (Ssj_prob.Rng.int r width))
+        ~cap:1 ~cost:0.0
+    done
+  done;
+  for i = 0 to width - 1 do
+    both ~src:(node (layers - 1) i) ~dst:sink ~cap:1
+      ~cost:(-.Ssj_prob.Rng.float r 1.0)
+  done;
+  let a = Mcmf.solve ssp ~source:0 ~sink ~target:5 in
+  let b = Scaling.solve scal ~source:0 ~sink ~target:5 in
+  check_int "flows agree" a.Mcmf.flow b.Scaling.flow;
+  check_float ~eps:1e-4 "costs agree" a.Mcmf.cost b.Scaling.cost
+
+let suite =
+  [
+    Alcotest.test_case "simple path" `Quick test_simple_path;
+    Alcotest.test_case "cheap path" `Quick test_chooses_cheap_path;
+    Alcotest.test_case "negative costs" `Quick test_negative_costs;
+    Alcotest.test_case "partial flow" `Quick test_partial_flow;
+    prop_agrees_with_ssp;
+    prop_fractional_costs_close;
+    Alcotest.test_case "FlowExpect-shaped instance" `Quick
+      test_flowexpect_sized_instance;
+  ]

@@ -1,0 +1,116 @@
+open Ssj_stream
+open Helpers
+
+let test_tuple_uids () =
+  let r = Tuple.make ~side:Tuple.R ~value:5 ~arrival:3 in
+  let s = Tuple.make ~side:Tuple.S ~value:5 ~arrival:3 in
+  check_bool "distinct uids" true (r.Tuple.uid <> s.Tuple.uid);
+  check_bool "partner" true (Tuple.partner Tuple.R = Tuple.S);
+  check_bool "equal on same uid" true
+    (Tuple.equal r (Tuple.make ~side:Tuple.R ~value:9 ~arrival:3))
+
+let test_trace_generation_deterministic () =
+  let make () =
+    let r, s =
+      Ssj_workload.Config.predictors (Ssj_workload.Config.tower ())
+    in
+    Trace.generate ~r ~s ~rng:(rng 99) ~length:50
+  in
+  let a = make () and b = make () in
+  Alcotest.(check (array int)) "R stream reproducible" a.Trace.r_values
+    b.Trace.r_values;
+  Alcotest.(check (array int)) "S stream reproducible" a.Trace.s_values
+    b.Trace.s_values
+
+let test_trace_accessors () =
+  let t = Trace.of_values ~r:[| 1; 2 |] ~s:[| 3; 4 |] in
+  check_int "length" 2 (Trace.length t);
+  let r0, s0 = Trace.arrivals t 0 in
+  check_int "r value" 1 r0.Tuple.value;
+  check_int "s value" 3 s0.Tuple.value;
+  check_bool "sides" true (r0.Tuple.side = Tuple.R && s0.Tuple.side = Tuple.S);
+  Alcotest.check_raises "mismatched lengths"
+    (Invalid_argument "Trace.of_values: stream lengths differ") (fun () ->
+      ignore (Trace.of_values ~r:[| 1 |] ~s:[||]))
+
+let test_window () =
+  let w = Window.create ~width:3 in
+  let t = Tuple.make ~side:Tuple.R ~value:0 ~arrival:10 in
+  check_bool "inside at arrival" true (Window.inside w ~now:10 t);
+  check_bool "inside at edge" true (Window.inside w ~now:13 t);
+  check_bool "outside after" false (Window.inside w ~now:14 t);
+  check_int "remaining" 3 (Window.remaining_lifetime w ~now:10 t);
+  check_int "expired" (-1) (Window.remaining_lifetime w ~now:14 t)
+
+let test_reduction_example () =
+  (* The Section 2 worked example: R = a b a c a. *)
+  let red = Reduction.transform [| 10; 20; 10; 30; 10 |] in
+  let trace = Reduction.trace red in
+  let decode side i =
+    Reduction.decode red
+      (match side with
+      | `R -> trace.Trace.r_values.(i)
+      | `S -> trace.Trace.s_values.(i))
+  in
+  Alcotest.(check (pair int int)) "R'0 = (a,0)" (10, 0) (decode `R 0);
+  Alcotest.(check (pair int int)) "R'2 = (a,1)" (10, 1) (decode `R 2);
+  Alcotest.(check (pair int int)) "R'4 = (a,2)" (10, 2) (decode `R 4);
+  Alcotest.(check (pair int int)) "S'0 = (a,1)" (10, 1) (decode `S 0);
+  Alcotest.(check (pair int int)) "S'2 = (a,2)" (10, 2) (decode `S 2);
+  Alcotest.(check (pair int int)) "S'4 = (a,3)" (10, 3) (decode `S 4);
+  Alcotest.(check (pair int int)) "S'1 = (b,1)" (20, 1) (decode `S 1)
+
+let test_reduction_no_duplicates () =
+  let reference = Array.init 200 (fun i -> i mod 7) in
+  let red = Reduction.transform reference in
+  let trace = Reduction.trace red in
+  let uniq a =
+    let l = Array.to_list a in
+    List.length (List.sort_uniq compare l) = Array.length a
+  in
+  check_bool "R' duplicate-free" true (uniq trace.Trace.r_values);
+  check_bool "S' duplicate-free" true (uniq trace.Trace.s_values)
+
+let test_reduction_join_pairs () =
+  (* Each S' tuple joins exactly the next occurrence of its value in R'. *)
+  let reference = [| 1; 2; 1; 1; 2 |] in
+  let red = Reduction.transform reference in
+  let trace = Reduction.trace red in
+  (* S'(t) encodes (v, k+1) where R'(t) encodes (v, k): the S' tuple at
+     time t matches R' at the NEXT occurrence time of v. *)
+  let n = Array.length reference in
+  for t = 0 to n - 1 do
+    let v, k = Reduction.decode red trace.Trace.s_values.(t) in
+    (* find next occurrence of v after t *)
+    let rec next i =
+      if i >= n then None
+      else if reference.(i) = v then Some i
+      else next (i + 1)
+    in
+    match next (t + 1) with
+    | Some i ->
+      let v', k' = Reduction.decode red trace.Trace.r_values.(i) in
+      check_int "same value" v v';
+      check_int "occurrence counter lines up" k k'
+    | None ->
+      (* No future occurrence: the S' code must match no future R' code. *)
+      for i = t + 1 to n - 1 do
+        check_bool "no accidental match" true
+          (trace.Trace.r_values.(i) <> trace.Trace.s_values.(t))
+      done
+  done
+
+let suite =
+  [
+    Alcotest.test_case "tuple identity" `Quick test_tuple_uids;
+    Alcotest.test_case "trace generation deterministic" `Quick
+      test_trace_generation_deterministic;
+    Alcotest.test_case "trace accessors" `Quick test_trace_accessors;
+    Alcotest.test_case "window arithmetic" `Quick test_window;
+    Alcotest.test_case "reduction: Section 2 example" `Quick
+      test_reduction_example;
+    Alcotest.test_case "reduction: no duplicates" `Quick
+      test_reduction_no_duplicates;
+    Alcotest.test_case "reduction: join pairing" `Quick
+      test_reduction_join_pairs;
+  ]

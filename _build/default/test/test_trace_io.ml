@@ -1,0 +1,74 @@
+open Ssj_stream
+open Helpers
+
+let temp_file () = Filename.temp_file "ssj_trace" ".csv"
+
+let test_roundtrip_explicit () =
+  let t = Trace.of_values ~r:[| 1; -2; 3 |] ~s:[| 40; 5; -6 |] in
+  let file = temp_file () in
+  Trace_io.save t ~filename:file;
+  let back = Trace_io.load ~filename:file in
+  Sys.remove file;
+  Alcotest.(check (array int)) "r" t.Trace.r_values back.Trace.r_values;
+  Alcotest.(check (array int)) "s" t.Trace.s_values back.Trace.s_values
+
+let test_rejects_bad_header () =
+  let file = temp_file () in
+  let oc = open_out file in
+  output_string oc "nope\n0,1,2\n";
+  close_out oc;
+  (try
+     ignore (Trace_io.load ~filename:file);
+     Sys.remove file;
+     Alcotest.fail "expected header failure"
+   with Failure msg ->
+     Sys.remove file;
+     check_bool "mentions header" true
+       (String.length msg > 0))
+
+let test_rejects_out_of_order () =
+  let file = temp_file () in
+  let oc = open_out file in
+  output_string oc (Trace_io.header ^ "\n0,1,2\n2,3,4\n");
+  close_out oc;
+  (try
+     ignore (Trace_io.load ~filename:file);
+     Sys.remove file;
+     Alcotest.fail "expected order failure"
+   with Failure _ -> Sys.remove file)
+
+let test_rejects_garbage_fields () =
+  let file = temp_file () in
+  let oc = open_out file in
+  output_string oc (Trace_io.header ^ "\n0,one,2\n");
+  close_out oc;
+  (try
+     ignore (Trace_io.load ~filename:file);
+     Sys.remove file;
+     Alcotest.fail "expected field failure"
+   with Failure _ -> Sys.remove file)
+
+let prop_roundtrip =
+  qcheck ~count:50 "save/load is the identity"
+    QCheck2.Gen.(
+      let* n = int_range 0 60 in
+      let* r = list_repeat n (int_range (-1000) 1000) in
+      let* s = list_repeat n (int_range (-1000) 1000) in
+      return (r, s))
+    (fun (r, s) ->
+      let t = Trace.of_values ~r:(Array.of_list r) ~s:(Array.of_list s) in
+      let file = temp_file () in
+      Trace_io.save t ~filename:file;
+      let back = Trace_io.load ~filename:file in
+      Sys.remove file;
+      back.Trace.r_values = t.Trace.r_values
+      && back.Trace.s_values = t.Trace.s_values)
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip_explicit;
+    Alcotest.test_case "bad header" `Quick test_rejects_bad_header;
+    Alcotest.test_case "out of order" `Quick test_rejects_out_of_order;
+    Alcotest.test_case "garbage fields" `Quick test_rejects_garbage_fields;
+    prop_roundtrip;
+  ]
