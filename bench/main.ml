@@ -12,8 +12,14 @@
       per-step min-cost flow, the OPT-offline solve, precomputation DPs
       and the bicubic surface lookup.
 
+   3. A wall-clock timing of the fixed Figure-8-style sweep (all joining
+      policies on shared TOWER traces), written together with the kernel
+      times to BENCH_joining.json — the regression-tracking artifact.
+
    Scale can be tuned through SSJ_BENCH_RUNS / SSJ_BENCH_LEN to reach the
-   paper's 50 x 5000 (defaults keep the full pass at a few minutes). *)
+   paper's 50 x 5000 (defaults keep the full pass at a few minutes);
+   SSJ_BENCH_FIGURES=0 skips the figure pass, SSJ_JOBS sets the runner's
+   domain count. *)
 
 open Bechamel
 open Toolkit
@@ -135,6 +141,7 @@ let run_micro () =
     List.map (fun instance -> Analyze.all ols instance raw_results) instances
   in
   let results = Analyze.merge ols instances results in
+  let estimates = ref [] in
   Format.printf "@.== bechamel kernels (time per run) ==@.";
   Hashtbl.iter
     (fun _label per_instance ->
@@ -142,6 +149,7 @@ let run_micro () =
         (fun name result ->
           match Analyze.OLS.estimates result with
           | Some [ est ] ->
+            estimates := (name, est) :: !estimates;
             let human =
               if est > 1e6 then Printf.sprintf "%.3f ms" (est /. 1e6)
               else if est > 1e3 then Printf.sprintf "%.3f us" (est /. 1e3)
@@ -150,7 +158,110 @@ let run_micro () =
             Format.printf "  %-34s %s@." name human
           | Some _ | None -> Format.printf "  %-34s (no estimate)@." name)
         per_instance)
-    results
+    results;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !estimates
+
+(* --- fig8-style wall-clock sweep ------------------------------------ *)
+
+(* The seed tree (pre-optimisation) runs this exact sweep — all four
+   joining policies on the shared full-scale TOWER traces — in 5.530 s on
+   the reference host; recorded so BENCH_joining.json carries the speedup
+   alongside the absolute time.  Only meaningful at the canonical
+   50 x 5000 scale. *)
+let baseline_wall_s = 5.530
+
+type sweep = {
+  runs : int;
+  length : int;
+  sweep_capacity : int;
+  jobs : int;
+  wall_s : float; (* best of [wall_reps] *)
+  wall_reps : float list;
+  summaries : Runner.summary list;
+}
+
+let run_sweep () =
+  let runs = opts.Experiments.runs and length = opts.Experiments.length in
+  let capacity = 50 in
+  let traces =
+    Array.init runs (fun i ->
+        let r, s = Config.predictors tower in
+        Trace.generate ~r ~s ~rng:(Rng.create (42 + (1009 * i))) ~length)
+  in
+  let setup =
+    {
+      Runner.capacity;
+      warmup = Runner.default_warmup ~capacity;
+      window = None;
+    }
+  in
+  let jobs = Parallel.default_jobs () in
+  (* The sweep is deterministic (fresh policies, fixed trace seeds), so
+     repetitions measure the same computation; report the best of three
+     to shed first-iteration warm-up, like the bechamel section does. *)
+  let measure () =
+    let t0 = Unix.gettimeofday () in
+    let summaries =
+      Runner.compare_joining ~setup ~traces
+        ~policies:(Factory.trend_policies tower ~seed:42 ())
+        ~include_opt:false ~jobs ()
+    in
+    (Unix.gettimeofday () -. t0, summaries)
+  in
+  let reps = List.init 3 (fun _ -> measure ()) in
+  let wall_reps = List.map fst reps in
+  let wall_s = List.fold_left Float.min Float.infinity wall_reps in
+  let summaries = snd (List.hd reps) in
+  Format.printf "@.== fig8 sweep wall-clock (%d runs x %d, capacity %d, %d \
+                 job%s) ==@."
+    runs length capacity jobs
+    (if jobs = 1 then "" else "s");
+  List.iter
+    (fun s ->
+      Format.printf "  %-6s mean=%.2f stddev=%.2f@." s.Runner.label
+        s.Runner.mean s.Runner.stddev)
+    summaries;
+  Format.printf "  wall: %.3f s (best of %s)" wall_s
+    (String.concat "/" (List.map (Printf.sprintf "%.3f") wall_reps));
+  if runs = 50 && length = 5000 then
+    Format.printf " (seed baseline %.3f s, %.2fx)" baseline_wall_s
+      (baseline_wall_s /. wall_s);
+  Format.printf "@.";
+  { runs; length; sweep_capacity = capacity; jobs; wall_s; wall_reps;
+    summaries }
+
+let write_json path sweep kernels =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n  \"schema_version\": 1,\n";
+  out "  \"benchmark\": \"fig8-style joining sweep (TOWER, seed 42)\",\n";
+  out "  \"sweep\": {\n";
+  out "    \"runs\": %d,\n    \"length\": %d,\n    \"capacity\": %d,\n"
+    sweep.runs sweep.length sweep.sweep_capacity;
+  out "    \"jobs\": %d,\n    \"wall_s\": %.3f,\n" sweep.jobs sweep.wall_s;
+  out "    \"wall_s_reps\": [%s],\n"
+    (String.concat ", " (List.map (Printf.sprintf "%.3f") sweep.wall_reps));
+  if sweep.runs = 50 && sweep.length = 5000 then begin
+    out "    \"baseline_wall_s\": %.3f,\n" baseline_wall_s;
+    out "    \"speedup\": %.2f,\n" (baseline_wall_s /. sweep.wall_s)
+  end;
+  out "    \"policies\": [\n";
+  List.iteri
+    (fun i s ->
+      out "      {\"name\": %S, \"mean\": %.4f, \"stddev\": %.4f}%s\n"
+        s.Runner.label s.Runner.mean s.Runner.stddev
+        (if i = List.length sweep.summaries - 1 then "" else ","))
+    sweep.summaries;
+  out "    ]\n  },\n";
+  out "  \"kernels_ns\": {\n";
+  List.iteri
+    (fun i (name, ns) ->
+      out "    %S: %.1f%s\n" name ns
+        (if i = List.length kernels - 1 then "" else ","))
+    kernels;
+  out "  }\n}\n";
+  close_out oc;
+  Format.printf "wrote %s@." path
 
 let () =
   Format.printf
@@ -159,6 +270,10 @@ let () =
   Format.printf "scale: %d runs x %d tuples (paper: 50 x 5000); override \
                  with SSJ_BENCH_RUNS / SSJ_BENCH_LEN.@."
     opts.Experiments.runs opts.Experiments.length;
-  Experiments.all opts;
-  run_micro ();
+  let sweep = run_sweep () in
+  (match Sys.getenv_opt "SSJ_BENCH_FIGURES" with
+  | Some "0" -> Format.printf "(figure pass skipped: SSJ_BENCH_FIGURES=0)@."
+  | _ -> Experiments.all opts);
+  let kernels = run_micro () in
+  write_json "BENCH_joining.json" sweep kernels;
   Format.printf "@.done.@."

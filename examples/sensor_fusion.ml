@@ -34,10 +34,8 @@ let model_b () =
     ()
 
 (* Remaining steps before the partner sweep passes a reading. *)
-let lifetime ~now (t : Tuple.t) =
-  match t.Tuple.side with
-  | Tuple.R -> t.Tuple.value + 12 + lag - now (* joins B's window *)
-  | Tuple.S -> t.Tuple.value + 8 - now (* joins A's window *)
+let lifetime =
+  Baselines.Trend { r_add = 12 + lag (* joins B's window *); s_add = 8 (* joins A's window *); speed = 1 }
 
 let () =
   let runs = 10 and length = 3000 and capacity = 8 in

@@ -33,6 +33,7 @@ let heeb ?name ~r ~s ~l ~band () =
     | None -> Printf.sprintf "HEEB-band(%d)" band
   in
   let r_pred = ref r and s_pred = ref s in
+  let sel = Policy.selector () in
   let select ~now:_ ~cached ~arrivals ~capacity =
     List.iter
       (fun (t : Tuple.t) ->
@@ -46,16 +47,19 @@ let heeb ?name ~r ~s ~l ~band () =
       in
       hvalue ~partner ~l ~value:t.Tuple.value ~band
     in
-    Policy.keep_top ~capacity ~score ~tie:Policy.newer_first (cached @ arrivals)
+    Policy.select_top sel ~capacity ~score ~tie:Policy.newer_first ~cached
+      ~arrivals
   in
-  { Policy.name; select }
+  Policy.make_join ~name select
 
 let prob_model ~r_dist ~s_dist ~band () =
   let score (t : Tuple.t) =
     let partner = match t.Tuple.side with Tuple.R -> s_dist | Tuple.S -> r_dist in
     match_prob partner ~value:t.Tuple.value ~band
   in
+  let sel = Policy.selector () in
   let select ~now:_ ~cached ~arrivals ~capacity =
-    Policy.keep_top ~capacity ~score ~tie:Policy.newer_first (cached @ arrivals)
+    Policy.select_top sel ~capacity ~score ~tie:Policy.newer_first ~cached
+      ~arrivals
   in
-  { Policy.name = Printf.sprintf "PROB-band(%d)" band; select }
+  Policy.make_join ~name:(Printf.sprintf "PROB-band(%d)" band) select

@@ -11,9 +11,22 @@
     stream so far.  LIFE weighs that estimate by the tuple's remaining
     lifetime. *)
 
-type lifetime = now:int -> Ssj_stream.Tuple.t -> int
-(** Remaining number of steps during which the tuple can still produce
-    results (e.g. until the partner's noise window has moved past it). *)
+type lifetime =
+  | Trend of { r_add : int; s_add : int; speed : int }
+      (** Linear-trend streams: remaining = (value + add_side)/speed − now
+          (see {!Ssj_workload.Config.lifetime} for the constants). *)
+  | Of_window of { width : int }
+      (** Sliding window: remaining = arrival + width − now. *)
+  | Fn of (now:int -> Ssj_stream.Tuple.t -> int)
+      (** Fully general estimator. *)
+(** Remaining number of steps during which a tuple can still produce
+    results (e.g. until the partner's noise window has moved past it).
+    The first-order constructors let the policies' per-candidate death
+    test compile to an integer compare instead of a closure call; [Fn]
+    is the escape hatch. *)
+
+val remaining : lifetime -> now:int -> Ssj_stream.Tuple.t -> int
+(** Evaluate the estimator. *)
 
 val rand : rng:Ssj_prob.Rng.t -> ?lifetime:lifetime -> unit -> Policy.join
 (** Discard uniformly at random (among live tuples first). *)

@@ -145,4 +145,4 @@ let policy ?name ?solver ~r ~s ~lookahead () =
     in
     plan.keep
   in
-  { Policy.name; select }
+  Policy.make_join ~name select

@@ -19,8 +19,8 @@ type joining_state = {
   mutable s_pred : Predictor.t;
   (* uid -> (H, time of last direct computation) *)
   hvals : (int, float * int) Hashtbl.t;
-  (* offset -> H, for `Memo_trend` *)
-  memo : (Tuple.side * int, float) Hashtbl.t;
+  (* (side, offset) encoded as an int -> H, for `Memo_trend` *)
+  memo : Ssj_prob.Ftab.t;
 }
 
 let partner_pred st = function
@@ -29,6 +29,38 @@ let partner_pred st = function
 
 let direct_h st ~l (t : Tuple.t) =
   Hvalue.joining ~partner:(partner_pred st t.side) ~l ~value:t.value
+
+(* Buffer-representation twin: [bit] is the uid's side bit (R = 0). *)
+let direct_h_bit st ~l ~bit ~value =
+  Hvalue.joining
+    ~partner:(if bit = 0 then st.s_pred else st.r_pred)
+    ~l ~value
+
+(* `Memo_trend` memo key: trend-relative offset with the side in the low
+   bit.  Bijective with the old (side, offset) pair, but a machine int. *)
+let memo_key side offset =
+  (offset lsl 1) lor (match side with Tuple.R -> 0 | Tuple.S -> 1)
+
+let fresh_state ~r ~s =
+  {
+    r_pred = r;
+    s_pred = s;
+    hvals = Hashtbl.create 128;
+    memo = Ssj_prob.Ftab.create ~size:128 ();
+  }
+
+(* Drop incremental state of evicted tuples: build the kept-uid set once
+   and sweep, instead of the former [Hashtbl.copy] + [List.mem] pass
+   that cost O(|hvals| * |kept|) per step. *)
+let prune_hvals hvals kept =
+  let keep = Hashtbl.create 64 in
+  List.iter (fun (t : Tuple.t) -> Hashtbl.replace keep t.uid ()) kept;
+  let stale =
+    Hashtbl.fold
+      (fun uid _ acc -> if Hashtbl.mem keep uid then acc else uid :: acc)
+      hvals []
+  in
+  List.iter (Hashtbl.remove hvals) stale
 
 let joining ?name ~r ~s ~l ?(mode = `Direct) () =
   let mode =
@@ -40,83 +72,163 @@ let joining ?name ~r ~s ~l ?(mode = `Direct) () =
       `Direct
     | m -> m
   in
-  let st =
-    {
-      r_pred = r;
-      s_pred = s;
-      hvals = Hashtbl.create 128;
-      memo = Hashtbl.create 128;
-    }
-  in
+  let st = fresh_state ~r ~s in
+  let sel = Policy.selector () in
   let name =
     match name with
     | Some n -> n
     | None -> Printf.sprintf "HEEB(%s)" l.Lfun.name
   in
+  let observe (t : Tuple.t) =
+    match t.side with
+    | Tuple.R -> st.r_pred <- st.r_pred.Predictor.observe t.value
+    | Tuple.S -> st.s_pred <- st.s_pred.Predictor.observe t.value
+  in
+  (* [priors] are the one-step laws Pr{X_{now} = v} *before* observing
+     today's arrivals — needed only by the Corollary 3 incremental update,
+     so the other modes skip building them. *)
+  let score_with ~now ~priors (t : Tuple.t) =
+    match mode with
+    | `Direct -> direct_h st ~l t
+    | `Memo_trend speed ->
+      let key = memo_key t.side (t.value - (speed * now)) in
+      (* H values are finite sums of probability-weighted L values and
+         never NaN, so NaN doubles as the absence marker. *)
+      let h = Ssj_prob.Ftab.find_default st.memo key Float.nan in
+      if Float.is_nan h then begin
+        let h = direct_h st ~l t in
+        Ssj_prob.Ftab.set st.memo key h;
+        h
+      end
+      else h
+    | `Incremental { alpha; refresh_every } ->
+      let recompute () =
+        let h = direct_h st ~l t in
+        Hashtbl.replace st.hvals t.uid (h, now);
+        h
+      in
+      if t.arrival = now then recompute ()
+      else begin
+        match Hashtbl.find_opt st.hvals t.uid with
+        | None -> recompute ()
+        | Some (h_prev, at) ->
+          if now - at >= refresh_every then recompute ()
+          else begin
+            let prior_r, prior_s =
+              match priors with Some p -> p | None -> assert false
+            in
+            let prior =
+              match t.side with
+              | Tuple.R -> prior_s (* an R tuple joins S arrivals *)
+              | Tuple.S -> prior_r
+            in
+            let p_now = Ssj_prob.Pmf.prob prior t.value in
+            let h = Hvalue.step_joining_exp ~alpha ~h_prev ~p_now in
+            Hashtbl.replace st.hvals t.uid (h, at);
+            h
+          end
+      end
+  in
   let select ~now ~cached ~arrivals ~capacity =
-    (* Prior one-step laws, needed by the Corollary 3 update: they are the
-       probabilities Pr{X_{now} = v} *before* observing today's arrivals. *)
-    let prior_r = st.r_pred.Predictor.pmf 1 in
-    let prior_s = st.s_pred.Predictor.pmf 1 in
-    List.iter
-      (fun (t : Tuple.t) ->
-        match t.side with
-        | Tuple.R -> st.r_pred <- st.r_pred.Predictor.observe t.value
-        | Tuple.S -> st.s_pred <- st.s_pred.Predictor.observe t.value)
-      arrivals;
-    let score (t : Tuple.t) =
+    let priors =
       match mode with
-      | `Direct -> direct_h st ~l t
-      | `Memo_trend speed ->
-        let key = (t.side, t.value - (speed * now)) in
-        (match Hashtbl.find_opt st.memo key with
-        | Some h -> h
-        | None ->
-          let h = direct_h st ~l t in
-          Hashtbl.replace st.memo key h;
-          h)
-      | `Incremental { alpha; refresh_every } ->
-        let recompute () =
-          let h = direct_h st ~l t in
-          Hashtbl.replace st.hvals t.uid (h, now);
-          h
-        in
-        if t.arrival = now then recompute ()
-        else begin
-          match Hashtbl.find_opt st.hvals t.uid with
-          | None -> recompute ()
-          | Some (h_prev, at) ->
-            if now - at >= refresh_every then recompute ()
-            else begin
-              let prior =
-                match t.side with
-                | Tuple.R -> prior_s (* an R tuple joins S arrivals *)
-                | Tuple.S -> prior_r
-              in
-              let p_now = Ssj_prob.Pmf.prob prior t.value in
-              let h = Hvalue.step_joining_exp ~alpha ~h_prev ~p_now in
-              Hashtbl.replace st.hvals t.uid (h, at);
-              h
-            end
-        end
+      | `Incremental _ ->
+        Some (st.r_pred.Predictor.pmf 1, st.s_pred.Predictor.pmf 1)
+      | `Direct | `Memo_trend _ -> None
     in
+    List.iter observe arrivals;
     let kept =
-      Policy.keep_top ~capacity ~score ~tie:Policy.newer_first (cached @ arrivals)
+      Policy.select_top sel ~capacity ~score:(score_with ~now ~priors)
+        ~tie:Policy.newer_first ~cached ~arrivals
     in
     (* Drop incremental state of evicted tuples. *)
     (match mode with
-    | `Incremental _ ->
-      let keep_uids = List.map (fun (t : Tuple.t) -> t.uid) kept in
-      Hashtbl.iter
-        (fun uid _ -> if not (List.mem uid keep_uids) then Hashtbl.remove st.hvals uid)
-        (Hashtbl.copy st.hvals)
+    | `Incremental _ -> prune_hvals st.hvals kept
     | `Direct | `Memo_trend _ -> ());
     kept
   in
-  { Policy.name; select }
+  let fast =
+    match mode with
+    | `Incremental _ -> None (* needs the kept list for state pruning *)
+    | `Memo_trend speed ->
+      (* Specialized scoring loop: the memo hit — one table probe per
+         candidate — is the per-step steady state, so it runs without
+         the generic path's per-candidate closure call. *)
+      Some
+        (fun ~src ~dst ~now ~r ~s ~capacity ->
+          observe r;
+          observe s;
+          if capacity <= 0 then Policy.clear dst
+          else begin
+            let n0 = src.Policy.n in
+            let n = n0 + 2 in
+            let scores, uids = Policy.scratch sel n in
+            let su = src.Policy.uids and sv = src.Policy.values in
+            let shift = speed * now in
+            for i = 0 to n0 - 1 do
+              let u = Array.unsafe_get su i in
+              Array.unsafe_set uids i u;
+              let bit = u land 1 in
+              let value = Array.unsafe_get sv i in
+              let key = ((value - shift) lsl 1) lor bit in
+              let h = Ssj_prob.Ftab.find_default st.memo key Float.nan in
+              let h =
+                if Float.is_nan h then begin
+                  let h = direct_h_bit st ~l ~bit ~value in
+                  Ssj_prob.Ftab.set st.memo key h;
+                  h
+                end
+                else h
+              in
+              Array.unsafe_set scores i h
+            done;
+            let score_arrival (t : Tuple.t) =
+              let key = memo_key t.side (t.value - shift) in
+              let h = Ssj_prob.Ftab.find_default st.memo key Float.nan in
+              if Float.is_nan h then begin
+                let h = direct_h st ~l t in
+                Ssj_prob.Ftab.set st.memo key h;
+                h
+              end
+              else h
+            in
+            uids.(n0) <- r.Tuple.uid;
+            scores.(n0) <- score_arrival r;
+            uids.(n0 + 1) <- s.Tuple.uid;
+            scores.(n0 + 1) <- score_arrival s;
+            Policy.select_prescored sel ~capacity ~src ~dst r s
+          end)
+    | `Direct ->
+      Some
+        (fun ~src ~dst ~now ~r ~s ~capacity ->
+          observe r;
+          observe s;
+          if capacity <= 0 then Policy.clear dst
+          else begin
+            let n0 = src.Policy.n in
+            let n = n0 + 2 in
+            let scores, uids = Policy.scratch sel n in
+            let su = src.Policy.uids and sv = src.Policy.values in
+            for i = 0 to n0 - 1 do
+              let u = Array.unsafe_get su i in
+              Array.unsafe_set uids i u;
+              Array.unsafe_set scores i
+                (direct_h_bit st ~l ~bit:(u land 1)
+                   ~value:(Array.unsafe_get sv i))
+            done;
+            let score = score_with ~now ~priors:None in
+            uids.(n0) <- r.Tuple.uid;
+            scores.(n0) <- score r;
+            uids.(n0 + 1) <- s.Tuple.uid;
+            scores.(n0 + 1) <- score s;
+            Policy.select_prescored sel ~capacity ~src ~dst r s
+          end)
+  in
+  Policy.make_join ~name ?fast select
 
 let joining_curves ?name ~h_r_tuples ~h_s_tuples () =
   let r_last = ref None and s_last = ref None in
+  let sel = Policy.selector () in
   let name = Option.value ~default:"HEEB(h1)" name in
   let select ~now:_ ~cached ~arrivals ~capacity =
     List.iter
@@ -137,9 +249,10 @@ let joining_curves ?name ~h_r_tuples ~h_s_tuples () =
         | None -> 0.0
         | Some x -> Interp.Curve.eval h_s_tuples (float_of_int (t.value - x)))
     in
-    Policy.keep_top ~capacity ~score ~tie:Policy.newer_first (cached @ arrivals)
+    Policy.select_top sel ~capacity ~score ~tie:Policy.newer_first ~cached
+      ~arrivals
   in
-  { Policy.name; select }
+  Policy.make_join ~name select
 
 let joining_adaptive ?name ?(initial_lifetime = 5.0) ?(smoothing = 0.05) ~r ~s
     () =
@@ -148,9 +261,8 @@ let joining_adaptive ?name ?(initial_lifetime = 5.0) ?(smoothing = 0.05) ~r ~s
     invalid_arg "Heeb.joining_adaptive: initial_lifetime <= 1";
   if smoothing <= 0.0 || smoothing > 1.0 then
     invalid_arg "Heeb.joining_adaptive: smoothing outside (0, 1]";
-  let st =
-    { r_pred = r; s_pred = s; hvals = Hashtbl.create 8; memo = Hashtbl.create 8 }
-  in
+  let st = fresh_state ~r ~s in
+  let sel = Policy.selector () in
   let lifetime = ref initial_lifetime in
   let admitted_at : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let select ~now ~cached ~arrivals ~capacity =
@@ -163,12 +275,17 @@ let joining_adaptive ?name ?(initial_lifetime = 5.0) ?(smoothing = 0.05) ~r ~s
     let alpha = Lfun.alpha_for_lifetime (Float.max 1.01 !lifetime) in
     let l = Lfun.exp_ ~alpha in
     let kept =
-      Policy.keep_top ~capacity ~score:(direct_h st ~l) ~tie:Policy.newer_first
-        (cached @ arrivals)
+      Policy.select_top sel ~capacity ~score:(direct_h st ~l)
+        ~tie:Policy.newer_first ~cached ~arrivals
     in
     (* Update the lifetime estimate from this step's evictions, and track
-       new admissions. *)
-    let kept_uid uid = List.exists (fun (t : Tuple.t) -> t.Tuple.uid = uid) kept in
+       new admissions.  The kept-uid set is built once per step; the
+       former [List.exists] per cached tuple cost O(k^2). *)
+    let kept_set = Hashtbl.create 64 in
+    List.iter
+      (fun (t : Tuple.t) -> Hashtbl.replace kept_set t.Tuple.uid ())
+      kept;
+    let kept_uid uid = Hashtbl.mem kept_set uid in
     List.iter
       (fun (t : Tuple.t) ->
         if not (kept_uid t.Tuple.uid) then begin
@@ -187,7 +304,7 @@ let joining_adaptive ?name ?(initial_lifetime = 5.0) ?(smoothing = 0.05) ~r ~s
       arrivals;
     kept
   in
-  { Policy.name; select }
+  Policy.make_join ~name select
 
 (* ------------------------------------------------------------------ *)
 (* Caching                                                             *)
@@ -203,6 +320,17 @@ let caching_direct_h pred ~l value =
     in
     Hvalue.caching_markov ~kernel ~start ~l ~value
   | Some _ | None -> Hvalue.caching_independent ~reference:pred ~l ~value
+
+(* Same sweep as [prune_hvals], keyed by cached value instead of uid. *)
+let prune_cached_hvals hvals kept =
+  let keep = Hashtbl.create 64 in
+  List.iter (fun v -> Hashtbl.replace keep v ()) kept;
+  let stale =
+    Hashtbl.fold
+      (fun v _ acc -> if Hashtbl.mem keep v then acc else v :: acc)
+      hvals []
+  in
+  List.iter (Hashtbl.remove hvals) stale
 
 let caching ?name ~reference ~l ?(mode = `Direct) () =
   let mode =
@@ -256,10 +384,7 @@ let caching ?name ~reference ~l ?(mode = `Direct) () =
     in
     let kept = List.filteri (fun i _ -> i < capacity) ordered |> List.map snd in
     (match mode with
-    | `Incremental _ ->
-      Hashtbl.iter
-        (fun v _ -> if not (List.mem v kept) then Hashtbl.remove hvals v)
-        (Hashtbl.copy hvals)
+    | `Incremental _ -> prune_cached_hvals hvals kept
     | `Direct | `Memo_trend _ -> ());
     kept
   in

@@ -12,6 +12,46 @@
     streams and {!cache} for the caching problem (reference stream against
     a database relation, where cache entries are database-tuple values). *)
 
+type buffer = {
+  mutable uids : int array;
+  mutable values : int array;
+  mutable n : int;
+  mutable evicted : int array;
+  mutable evicted_n : int;
+  mutable kept_r : bool;
+  mutable kept_s : bool;
+}
+(** Engine-owned cache buffer for the array-native fast path: current
+    cache contents, best-first, as parallel unboxed arrays
+    [uids.(0 .. n-1)] / [values.(0 .. n-1)].  The uid encodes the rest
+    of the tuple ([uid = 2·arrival + side] with side R = 0, S = 1), so
+    the two int arrays carry the whole cache without pointer stores.
+    The remaining fields report the diff of the step that produced the
+    contents — [evicted.(0 .. evicted_n-1)] are the *positions in the
+    previous buffer* of the cached tuples dropped, [kept_r]/[kept_s]
+    whether each arrival entered — letting the engine maintain its join
+    index in O(changes).  [evicted_n = -1] means the diff was not
+    computed and the caller must compare the two buffers itself. *)
+
+val buffer : unit -> buffer
+
+val clear : buffer -> unit
+(** Record an empty selection step (what a fast path does when
+    [capacity <= 0]): no contents, empty diff. *)
+
+type fast_select =
+  src:buffer ->
+  dst:buffer ->
+  now:int ->
+  r:Ssj_stream.Tuple.t ->
+  s:Ssj_stream.Tuple.t ->
+  capacity:int ->
+  unit
+(** Array-native step: read the cache from [src], write the new selection
+    (best-first) into [dst].  Must decide exactly as the policy's [select]
+    would on the same state — the simulator picks one path per run and the
+    test suite cross-checks them. *)
+
 type join = {
   name : string;
   select :
@@ -20,7 +60,18 @@ type join = {
     arrivals:Ssj_stream.Tuple.t list ->
     capacity:int ->
     Ssj_stream.Tuple.t list;
+  fast : fast_select option;
+      (** allocation-free per-step variant; [None] falls back to [select] *)
 }
+
+val make_join :
+  name:string -> ?fast:fast_select ->
+  (now:int ->
+  cached:Ssj_stream.Tuple.t list ->
+  arrivals:Ssj_stream.Tuple.t list ->
+  capacity:int ->
+  Ssj_stream.Tuple.t list) ->
+  join
 
 type cache = {
   cname : string;
@@ -47,9 +98,71 @@ val keep_top :
   tie:(Ssj_stream.Tuple.t -> Ssj_stream.Tuple.t -> int) ->
   Ssj_stream.Tuple.t list ->
   Ssj_stream.Tuple.t list
-(** Shared helper: keep the [capacity] candidates with the highest score;
-    [tie] is a comparator breaking score ties (negative means the first
-    argument is preferred, i.e. kept ahead of the second). *)
+(** Shared helper: keep the [capacity] candidates with the highest score,
+    best-first; [tie] is a comparator breaking score ties (negative means
+    the first argument is preferred, i.e. kept ahead of the second).
+    [score] is called exactly once per candidate, in list order, so
+    stateful scores (e.g. RAND's RNG draws) behave deterministically.
+    Implemented as a bounded selection — a size-[capacity] heap when the
+    candidate set is much larger than the capacity, a flat array sort
+    otherwise — and agrees exactly with {!keep_top_spec} whenever
+    (score, tie) induces a total order. *)
+
+val keep_top_spec :
+  capacity:int ->
+  score:(Ssj_stream.Tuple.t -> float) ->
+  tie:(Ssj_stream.Tuple.t -> Ssj_stream.Tuple.t -> int) ->
+  Ssj_stream.Tuple.t list ->
+  Ssj_stream.Tuple.t list
+(** Reference implementation of {!keep_top} by full stable sort; the
+    oracle for the property tests.  O(n log n) and allocation-heavy —
+    use {!keep_top} everywhere else. *)
+
+type selector
+(** Reusable scratch buffers for {!select_top}.  A selector belongs to a
+    single policy instance (policies already own per-instance state) and
+    must not be shared across domains; the parallel runner instantiates
+    one policy — hence one selector — per trace. *)
+
+val selector : unit -> selector
+
+val select_top :
+  selector ->
+  capacity:int ->
+  score:(Ssj_stream.Tuple.t -> float) ->
+  tie:(Ssj_stream.Tuple.t -> Ssj_stream.Tuple.t -> int) ->
+  cached:Ssj_stream.Tuple.t list ->
+  arrivals:Ssj_stream.Tuple.t list ->
+  Ssj_stream.Tuple.t list
+(** [select_top sel ~capacity ~score ~tie ~cached ~arrivals] equals
+    [keep_top ~capacity ~score ~tie (cached @ arrivals)] but reuses
+    [sel]'s buffers and skips the list append, allocating only the
+    result list.  The per-step workhorse of every scored policy.
+
+    When [tie] is (physically) {!newer_first} — true of every in-repo
+    policy — selection runs on a closure-free adaptive merge sort over
+    unboxed score/uid arrays; any other comparator falls back to
+    {!keep_top_spec}.  Results are identical either way. *)
+
+val scratch : selector -> int -> float array * int array
+(** [scratch sel n] makes room for [n] candidates and returns the
+    (scores, uids) scratch pair.  For policies whose {!fast_select}
+    scores with a specialized loop — no per-candidate closure call or
+    float boxing — before handing over to {!select_prescored}.  The
+    arrays are invalidated by the next [scratch] call that grows them. *)
+
+val select_prescored :
+  selector ->
+  capacity:int ->
+  src:buffer ->
+  dst:buffer ->
+  Ssj_stream.Tuple.t ->
+  Ssj_stream.Tuple.t ->
+  unit
+(** Selection tail behind every {!fast_select}: requires [capacity > 0]
+    and slots [0 .. src.n + 1] of the {!scratch} pair filled with the
+    candidates' scores and uids — [src]'s contents first, then the two
+    arrivals, in that order (the same order the list path scores in). *)
 
 val newer_first : Ssj_stream.Tuple.t -> Ssj_stream.Tuple.t -> int
 (** Standard tie-break: prefer later arrivals (deterministic). *)

@@ -4,6 +4,7 @@ open Ssj_model
 let heeb ?name ~r ~s ~alpha ~window () =
   let base = Lfun.exp_ ~alpha in
   let r_pred = ref r and s_pred = ref s in
+  let sel = Policy.selector () in
   let name =
     match name with
     | Some n -> n
@@ -27,9 +28,10 @@ let heeb ?name ~r ~s ~alpha ~window () =
         Hvalue.joining ~partner ~l ~value:t.Tuple.value
       end
     in
-    Policy.keep_top ~capacity ~score ~tie:Policy.newer_first (cached @ arrivals)
+    Policy.select_top sel ~capacity ~score ~tie:Policy.newer_first ~cached
+      ~arrivals
   in
-  { Policy.name; select }
+  Policy.make_join ~name select
 
 let stationary_score ~alpha ~p ~remaining_lifetime =
   if remaining_lifetime <= 0 then 0.0

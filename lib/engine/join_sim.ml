@@ -37,37 +37,78 @@ let run_internal ~trace ~policy ~capacity ?(warmup = 0) ?window ?band
   let decisions =
     match log with true -> Some (Array.make tlen []) | false -> None
   in
-  let cache = ref [] in
+  let index = Join_index.create ?window ?band ~length:tlen () in
   let total = ref 0 and counted = ref 0 in
   let shares = ref [] in
-  for now = 0 to tlen - 1 do
-    let r_t, s_t = Trace.arrivals trace now in
-    let produced =
-      matches_in_cache ?window ?band ~now !cache r_t
-      + matches_in_cache ?window ?band ~now !cache s_t
-    in
-    total := !total + produced;
-    if now >= warmup then counted := !counted + produced;
-    let arrivals = [ r_t; s_t ] in
-    let selection =
-      policy.Policy.select ~now ~cached:!cache ~arrivals ~capacity
-    in
-    if validate then begin
-      match
-        Policy.validate_join_selection ~cached:!cache ~arrivals ~capacity
-          selection
-      with
-      | Ok () -> ()
-      | Error msg ->
-        failwith (Printf.sprintf "policy %s at t=%d: %s" policy.Policy.name now msg)
-    end;
-    cache := selection;
-    (match decisions with Some d -> d.(now) <- selection | None -> ());
-    (match record_share with
-    | Some every when every > 0 && now mod every = 0 ->
-      shares := (now, r_share !cache) :: !shares
-    | Some _ | None -> ())
-  done;
+  (match policy.Policy.fast with
+  | Some fast when (not validate) && (not log) && record_share = None ->
+    (* Array-native path: the cache lives in two engine-owned buffers
+       ping-ponged each step, so the hot loop allocates nothing. *)
+    let src = ref (Policy.buffer ()) and dst = ref (Policy.buffer ()) in
+    for now = 0 to tlen - 1 do
+      let r_t, s_t = Trace.arrivals trace now in
+      let produced =
+        Join_index.matches index ~now r_t + Join_index.matches index ~now s_t
+      in
+      total := !total + produced;
+      if now >= warmup then counted := !counted + produced;
+      let src_b = !src and dst_b = !dst in
+      fast ~src:src_b ~dst:dst_b ~now ~r:r_t ~s:s_t ~capacity;
+      (let en = dst_b.Policy.evicted_n in
+       if en >= 0 then begin
+         (* The policy reported the exact step diff (at most two entries
+            either way in the steady state).  Evictions are positions in
+            the previous buffer. *)
+         if dst_b.Policy.kept_r then Join_index.insert index r_t;
+         if dst_b.Policy.kept_s then Join_index.insert index s_t;
+         let ev = dst_b.Policy.evicted in
+         let su = src_b.Policy.uids and sv = src_b.Policy.values in
+         for e = 0 to en - 1 do
+           let pos = Array.unsafe_get ev e in
+           Join_index.remove_id index
+             ~uid:(Array.unsafe_get su pos)
+             ~value:(Array.unsafe_get sv pos)
+         done
+       end
+       else
+         Join_index.update_arrays index ~prev_uids:src_b.Policy.uids
+           ~prev_values:src_b.Policy.values ~prev_n:src_b.Policy.n
+           ~next_uids:dst_b.Policy.uids ~next_values:dst_b.Policy.values
+           ~next_n:dst_b.Policy.n);
+      src := dst_b;
+      dst := src_b
+    done
+  | Some _ | None ->
+    let cache = ref [] in
+    for now = 0 to tlen - 1 do
+      let r_t, s_t = Trace.arrivals trace now in
+      let produced =
+        Join_index.matches index ~now r_t + Join_index.matches index ~now s_t
+      in
+      total := !total + produced;
+      if now >= warmup then counted := !counted + produced;
+      let arrivals = [ r_t; s_t ] in
+      let selection =
+        policy.Policy.select ~now ~cached:!cache ~arrivals ~capacity
+      in
+      if validate then begin
+        match
+          Policy.validate_join_selection ~cached:!cache ~arrivals ~capacity
+            selection
+        with
+        | Ok () -> ()
+        | Error msg ->
+          failwith
+            (Printf.sprintf "policy %s at t=%d: %s" policy.Policy.name now msg)
+      end;
+      Join_index.update index ~prev:!cache ~next:selection;
+      cache := selection;
+      (match decisions with Some d -> d.(now) <- selection | None -> ());
+      match record_share with
+      | Some every when every > 0 && now mod every = 0 ->
+        shares := (now, r_share !cache) :: !shares
+      | Some _ | None -> ()
+    done);
   ( {
       total_results = !total;
       counted_results = !counted;
@@ -88,7 +129,7 @@ let run_logged ~trace ~policy ~capacity ?window () =
   | result, Some decisions -> (result, decisions)
   | _, None -> assert false
 
-let recount ~trace ~decisions ?window () =
+let recount ~trace ~decisions ?window ?band () =
   let total = ref 0 in
   Array.iteri
     (fun now _ ->
@@ -97,8 +138,8 @@ let recount ~trace ~decisions ?window () =
         let r_t, s_t = Trace.arrivals trace now in
         total :=
           !total
-          + matches_in_cache ?window ~now cache r_t
-          + matches_in_cache ?window ~now cache s_t
+          + matches_in_cache ?window ?band ~now cache r_t
+          + matches_in_cache ?window ?band ~now cache s_t
       end)
     decisions;
   !total

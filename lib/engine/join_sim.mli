@@ -33,10 +33,22 @@ val run :
     raises [Failure] on a violation — used by the test suite, skipped in
     benchmarks. *)
 
+val matches_in_cache :
+  ?window:Ssj_stream.Window.t ->
+  ?band:int ->
+  now:int ->
+  Ssj_stream.Tuple.t list ->
+  Ssj_stream.Tuple.t ->
+  int
+(** Reference match counter: full scan of the cache list.  [run] itself
+    counts through the incremental {!Join_index}; this is the oracle the
+    property tests compare it against (and what {!recount} uses). *)
+
 val recount :
   trace:Ssj_stream.Trace.t ->
   decisions:Ssj_stream.Tuple.t list array ->
   ?window:Ssj_stream.Window.t ->
+  ?band:int ->
   unit ->
   int
 (** Independent re-derivation of the result count from a decision log

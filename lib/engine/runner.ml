@@ -23,12 +23,12 @@ type joining_setup = {
 
 let default_warmup ~capacity = 4 * capacity
 
-let compare_joining ~setup ~traces ~policies ?(include_opt = true) () =
+let compare_joining ~setup ~traces ~policies ?(include_opt = true) ?jobs () =
   let { capacity; warmup; window } = setup in
   let opt =
     if include_opt then begin
       let per_run =
-        Array.map
+        Parallel.map ?jobs
           (fun trace ->
             float_of_int
               (Opt_offline.max_results_from ~trace ~capacity ~start:warmup ()))
@@ -42,7 +42,7 @@ let compare_joining ~setup ~traces ~policies ?(include_opt = true) () =
     List.map
       (fun (label, make) ->
         let per_run =
-          Array.map
+          Parallel.map ?jobs
             (fun trace ->
               let policy = make () in
               let result =
@@ -57,7 +57,7 @@ let compare_joining ~setup ~traces ~policies ?(include_opt = true) () =
   opt @ evaluated
 
 let compare_caching ~capacity ~warmup ~references ~policies
-    ?(include_lfd = true) ?(metric = `Misses) () =
+    ?(include_lfd = true) ?(metric = `Misses) ?jobs () =
   let pick (r : Cache_sim.result) =
     match metric with
     | `Hits -> float_of_int r.Cache_sim.counted_hits
@@ -66,7 +66,7 @@ let compare_caching ~capacity ~warmup ~references ~policies
   let lfd =
     if include_lfd then begin
       let per_run =
-        Array.map
+        Parallel.map ?jobs
           (fun reference ->
             let policy = Classic.lfd ~reference in
             pick (Cache_sim.run ~reference ~policy ~capacity ~warmup ()))
@@ -80,7 +80,7 @@ let compare_caching ~capacity ~warmup ~references ~policies
     List.map
       (fun (label, make) ->
         let per_run =
-          Array.map
+          Parallel.map ?jobs
             (fun reference ->
               let policy = make () in
               pick (Cache_sim.run ~reference ~policy ~capacity ~warmup ()))

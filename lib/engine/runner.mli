@@ -28,11 +28,15 @@ val compare_joining :
   traces:Ssj_stream.Trace.t array ->
   policies:(string * (unit -> Ssj_core.Policy.join)) list ->
   ?include_opt:bool ->
+  ?jobs:int ->
   unit ->
   summary list
-(** Each policy factory is invoked afresh per run (policies are stateful).
-    With [include_opt] (default true) an "OPT-OFFLINE" summary computed by
-    {!Ssj_core.Opt_offline} on the same traces is prepended. *)
+(** Each policy factory is invoked afresh per run (policies are stateful),
+    so runs are independent and evaluated in parallel over {!Parallel.map}
+    ([jobs] defaults to {!Parallel.default_jobs}; results are identical
+    for any job count).  With [include_opt] (default true) an
+    "OPT-OFFLINE" summary computed by {!Ssj_core.Opt_offline} on the same
+    traces is prepended. *)
 
 val compare_caching :
   capacity:int ->
@@ -41,10 +45,12 @@ val compare_caching :
   policies:(string * (unit -> Ssj_core.Policy.cache)) list ->
   ?include_lfd:bool ->
   ?metric:[ `Hits | `Misses ] ->
+  ?jobs:int ->
   unit ->
   summary list
 (** Caching analogue; [metric] selects what the summaries report
-    (default [`Misses], as in Figure 13). *)
+    (default [`Misses], as in Figure 13).  [jobs] as in
+    {!compare_joining}. *)
 
 val share_trace :
   trace:Ssj_stream.Trace.t ->

@@ -1,0 +1,45 @@
+(* Dense int-keyed counter: a growable array indexed by [key - base].
+   Purpose-built for frequency tables whose keys are value- or time-like
+   and therefore cluster in a (moving) interval — the history counts of
+   the PROB/LIFE baselines probe the recent neighbourhood of a trend, so
+   a lookup is one bounds check and one load on a cache-hot line, where a
+   hash table would scatter the same working set across all its buckets.
+
+   Memory is O(key range), so this is NOT a general int map: use
+   {!Itab} when keys may be sparse or adversarial. *)
+
+type t = { mutable arr : int array; mutable base : int }
+
+let create () = { arr = [||]; base = 0 }
+
+(* Extend the span to cover [v], at least doubling so that a drifting key
+   range costs amortized O(1) per insertion. *)
+let grow t v =
+  let len = Array.length t.arr in
+  if len = 0 then begin
+    t.arr <- Array.make 512 0;
+    t.base <- v - 256
+  end
+  else begin
+    let lo = t.base and hi = t.base + len in
+    let nlo = if v < lo then v - len else lo in
+    let nhi = if v >= hi then v + len + 1 else hi in
+    let arr = Array.make (nhi - nlo) 0 in
+    Array.blit t.arr 0 arr (lo - nlo) len;
+    t.arr <- arr;
+    t.base <- nlo
+  end
+
+let add t v d =
+  if
+    Array.length t.arr = 0
+    || v - t.base < 0
+    || v - t.base >= Array.length t.arr
+  then grow t v;
+  let i = v - t.base in
+  let arr = t.arr in
+  Array.unsafe_set arr i (Array.unsafe_get arr i + d)
+
+let get t v =
+  let i = v - t.base in
+  if i >= 0 && i < Array.length t.arr then Array.unsafe_get t.arr i else 0

@@ -1,0 +1,19 @@
+(** Dense int-keyed counter for hot frequency tables with clustered keys.
+
+    A growable array indexed by [key - base]: lookups are a bounds check
+    and one load, with the locality hash tables deliberately destroy.
+    Memory is O(key range) — use {!Itab} instead when keys may be sparse
+    or adversarial.  Counters start at 0; a counter returning to 0 is
+    indistinguishable from one never touched. *)
+
+type t
+
+val create : unit -> t
+
+val get : t -> int -> int
+(** [get t k] is [k]'s counter (0 if never incremented).  Never
+    allocates. *)
+
+val add : t -> int -> int -> unit
+(** [add t k d] adds [d] to [k]'s counter, growing the span to cover
+    [k] if needed (amortized O(1) for drifting key ranges). *)

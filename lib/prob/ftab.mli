@@ -1,0 +1,15 @@
+(** Open-addressed [int -> float] table; the float twin of {!Itab}.
+
+    Values live in an unboxed float array, so lookups allocate nothing.
+    [min_int] is reserved as the internal empty marker and must not be
+    used as a key.  No removal. *)
+
+type t
+
+val create : ?size:int -> unit -> t
+val mem : t -> int -> bool
+
+val find_default : t -> int -> float -> float
+(** [find_default t k d] is the value bound to [k], or [d] if absent. *)
+
+val set : t -> int -> float -> unit

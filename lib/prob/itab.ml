@@ -1,0 +1,129 @@
+(* Open-addressed int -> int table, linear probing, power-of-two buckets.
+
+   Purpose-built for the simulation hot paths (history frequency counts,
+   join-index multiplicity counts): compared to [Hashtbl] it avoids the
+   per-call [option] allocation of [find_opt], the generic hash function,
+   and bucket-list chasing.  Keys are machine ints; [min_int] is reserved
+   as the empty-slot marker.  Entries are never physically removed — a
+   counter that drops back to zero keeps its slot — which keeps probing
+   correct without tombstones.  Load factor is kept at or below 1/2. *)
+
+type t = {
+  mutable keys : int array; (* empty slots hold [empty_key] *)
+  mutable vals : int array;
+  mutable used : int; (* occupied slots *)
+  mutable mask : int; (* Array.length keys - 1, a power of two minus one *)
+}
+
+let empty_key = min_int
+
+let rec pow2 n k = if k >= n then k else pow2 n (2 * k)
+
+let create ?(size = 16) () =
+  let cap = pow2 (max 8 size) 8 in
+  { keys = Array.make cap empty_key; vals = Array.make cap 0; used = 0; mask = cap - 1 }
+
+(* Fibonacci-style multiplicative mix: spreads dense key ranges (values
+   clustered around a trend, consecutive uids) across the buckets. *)
+let[@inline] hash k = (k * 0x2545F4914F6CDD1D) lsr 17
+
+(* Index of [k]'s slot, or of the empty slot where it would be inserted.
+   [probe] takes everything as arguments so the recursion compiles to
+   direct static calls — a local [let rec] capturing [keys]/[mask] would
+   allocate a closure per lookup, and lookups are the hot path. *)
+let rec probe keys mask k i =
+  let key = Array.unsafe_get keys i in
+  if key = k || key = empty_key then i else probe keys mask k ((i + 1) land mask)
+
+let slot t k = probe t.keys t.mask k (hash k land t.mask)
+
+let grow t =
+  let old_keys = t.keys and old_vals = t.vals in
+  let cap = 2 * Array.length old_keys in
+  t.keys <- Array.make cap empty_key;
+  t.vals <- Array.make cap 0;
+  t.mask <- cap - 1;
+  Array.iteri
+    (fun i k ->
+      if k <> empty_key then begin
+        let j = slot t k in
+        t.keys.(j) <- k;
+        t.vals.(j) <- old_vals.(i)
+      end)
+    old_keys
+
+let find_default t k d =
+  let i = slot t k in
+  if Array.unsafe_get t.keys i = k then Array.unsafe_get t.vals i else d
+
+let set t k v =
+  if k = empty_key then invalid_arg "Itab.set: reserved key";
+  let i = slot t k in
+  if Array.unsafe_get t.keys i = k then t.vals.(i) <- v
+  else begin
+    t.keys.(i) <- k;
+    t.vals.(i) <- v;
+    t.used <- t.used + 1;
+    if 2 * t.used > t.mask then grow t
+  end
+
+let add t k delta =
+  if k = empty_key then invalid_arg "Itab.add: reserved key";
+  let i = slot t k in
+  if Array.unsafe_get t.keys i = k then t.vals.(i) <- t.vals.(i) + delta
+  else begin
+    t.keys.(i) <- k;
+    t.vals.(i) <- delta;
+    t.used <- t.used + 1;
+    if 2 * t.used > t.mask then grow t
+  end
+
+(* [add t k (-1)], but physically freeing the slot when the counter hits
+   zero.  Keeps tables whose keys churn (the join index's value counts
+   track a moving trend) at working-set size instead of accumulating
+   every key ever seen.  Freeing under linear probing uses backward-shift
+   deletion: walk the probe chain after the hole and pull back any entry
+   whose home slot precedes the hole, so no tombstones are needed. *)
+let decr t k =
+  if k = empty_key then invalid_arg "Itab.decr: reserved key";
+  let i = slot t k in
+  let keys = t.keys and vals = t.vals and mask = t.mask in
+  if Array.unsafe_get keys i <> k then begin
+    Array.unsafe_set keys i k;
+    Array.unsafe_set vals i (-1);
+    t.used <- t.used + 1;
+    if 2 * t.used > t.mask then grow t
+  end
+  else begin
+    let v = Array.unsafe_get vals i - 1 in
+    if v <> 0 then Array.unsafe_set vals i v
+    else begin
+      t.used <- t.used - 1;
+      let hole = ref i in
+      let j = ref ((i + 1) land mask) in
+      let continue = ref true in
+      while !continue do
+        let kj = Array.unsafe_get keys !j in
+        if kj = empty_key then continue := false
+        else begin
+          let home = hash kj land mask in
+          (* The entry at [j] may move back into the hole iff probing
+             from its home reaches the hole no later than [j]. *)
+          if (!j - home) land mask >= (!j - !hole) land mask then begin
+            Array.unsafe_set keys !hole kj;
+            Array.unsafe_set vals !hole (Array.unsafe_get vals !j);
+            hole := !j
+          end;
+          j := (!j + 1) land mask
+        end
+      done;
+      Array.unsafe_set keys !hole empty_key
+    end
+  end
+
+let clear t =
+  Array.fill t.keys 0 (Array.length t.keys) empty_key;
+  t.used <- 0
+
+let iter f t =
+  Array.iteri (fun i k -> if k <> empty_key then f k t.vals.(i)) t.keys

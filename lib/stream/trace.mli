@@ -7,6 +7,9 @@
 type t = {
   r_values : int array;
   s_values : int array;  (** same length; index = time step *)
+  mutable tuples : (Tuple.t * Tuple.t) array;
+      (** lazily materialised arrival pairs, shared across replays; treat
+          as private — {!arrivals} fills it on first use *)
 }
 
 val length : t -> int
@@ -23,7 +26,8 @@ val tuple : t -> Tuple.side -> int -> Tuple.t
 (** [tuple tr side t] is the tuple produced by [side] at time [t]. *)
 
 val arrivals : t -> int -> Tuple.t * Tuple.t
-(** Both arrivals at a time step, R first. *)
+(** Both arrivals at a time step, R first.  Tuples (and the pairs) are
+    materialised once per trace and shared by all replays. *)
 
 val of_values : r:int array -> s:int array -> t
 (** Build a trace from explicit value scripts (lengths must match). *)

@@ -75,19 +75,18 @@ let predictors cfg =
   in
   (r, s)
 
-let lifetime cfg ~now (t : Ssj_stream.Tuple.t) =
+let lifetime cfg =
   (* A tuple joins the partner stream while the partner's noise window
-     [f_p(t) − w_p, f_p(t) + w_p] still covers its value. *)
-  let partner_offset, partner_bound =
-    match t.Ssj_stream.Tuple.side with
-    | Ssj_stream.Tuple.R -> (cfg.s_offset, Pmf.hi cfg.s_noise)
-    | Ssj_stream.Tuple.S -> (cfg.r_offset, Pmf.hi cfg.r_noise)
-  in
-  (* Last time t' with value >= f_p(t') − w_p, for f_p(t) = speed·t + off. *)
-  let latest =
-    (t.Ssj_stream.Tuple.value + partner_bound - partner_offset) / cfg.speed
-  in
-  latest - now
+     [f_p(t) − w_p, f_p(t) + w_p] still covers its value: the last such
+     time t' has value >= f_p(t') − w_p, for f_p(t) = speed·t + off.
+     The per-side constants fold away once, into a first-order form the
+     policies' scoring loops inline. *)
+  Ssj_core.Baselines.Trend
+    {
+      r_add = Pmf.hi cfg.s_noise - cfg.s_offset;
+      s_add = Pmf.hi cfg.r_noise - cfg.r_offset;
+      speed = cfg.speed;
+    }
 
 let alpha cfg = Ssj_core.Lfun.alpha_for_lifetime cfg.alpha_lifetime
 

@@ -634,7 +634,7 @@ let window_extension ?(out = std) opts =
           ~rng:(Rng.create (opts.seed + (811 * i)))
           ~length:opts.length)
   in
-  let lifetime ~now t = Window.remaining_lifetime window ~now t in
+  let lifetime = Baselines.Of_window { width = Window.width window } in
   let capacity = opts.capacity in
   let policies =
     [

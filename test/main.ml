@@ -28,6 +28,7 @@ let () =
       ("core.band", Test_band.suite);
       ("core.case_studies", Test_case_studies.suite);
       ("engine", Test_sim.suite);
+      ("engine.indexed", Test_indexed.suite);
       ("multi", Test_multi.suite);
       ("workload", Test_workload.suite);
     ]

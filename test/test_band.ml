@@ -42,6 +42,7 @@ let test_band_sim_counts () =
   let keep_s5 =
     {
       Policy.name = "keep-s5";
+      fast = None;
       select = (fun ~now:_ ~cached:_ ~arrivals:_ ~capacity:_ -> [ s5 ]);
     }
   in

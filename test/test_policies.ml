@@ -56,7 +56,7 @@ let test_rand_respects_capacity () =
 
 let test_rand_discards_dead_first () =
   (* lifetime: only value >= 100 lives. *)
-  let lifetime ~now:_ (t : Tuple.t) = if t.Tuple.value >= 100 then 5 else 0 in
+  let lifetime = Baselines.Fn (fun ~now:_ (t : Tuple.t) -> if t.Tuple.value >= 100 then 5 else 0) in
   let policy = Baselines.rand ~rng:(rng 5) ~lifetime () in
   let cache = run_policy policy ~capacity:2 [ (100, 1); (2, 101) ] in
   let values = List.map (fun t -> t.Tuple.value) cache |> List.sort compare in
@@ -81,7 +81,7 @@ let test_prob_prefers_frequent_partner_values () =
 let test_life_weighs_lifetime () =
   (* Two S tuples whose values are equally frequent in R's history; LIFE
      must keep the one with the longer remaining lifetime. *)
-  let lifetime ~now:_ (t : Tuple.t) = t.Tuple.value in
+  let lifetime = Baselines.Fn (fun ~now:_ (t : Tuple.t) -> t.Tuple.value) in
   let policy = Baselines.life ~lifetime () in
   let cache = run_policy policy ~capacity:1 [ (3, 3); (9, 9); (3, 3) ] in
   (match cache with

@@ -9,6 +9,7 @@ let trace r s = Trace.of_values ~r:(Array.of_list r) ~s:(Array.of_list s)
 let scripted decisions =
   {
     Policy.name = "scripted";
+    fast = None;
     select =
       (fun ~now ~cached:_ ~arrivals:_ ~capacity:_ ->
         match List.nth_opt decisions now with Some d -> d | None -> []);
@@ -142,6 +143,7 @@ let reduced_join_count ~reference ~capacity ~cache_policy =
   let join_policy =
     {
       Policy.name = "reduced";
+      fast = None;
       select =
         (fun ~now ~cached:_ ~arrivals:_ ~capacity:_ ->
           let v = reference.(now) in

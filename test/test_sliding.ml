@@ -63,7 +63,7 @@ let test_windowed_heeb_runs_under_window_semantics () =
       .total_results
   in
   let h = run heeb in
-  let lifetime ~now t = Window.remaining_lifetime window ~now t in
+  let lifetime = Baselines.Of_window { width = Window.width window } in
   let p = run (Baselines.prob ~lifetime ()) in
   check_bool "windowed HEEB >= PROB here" true (h >= p)
 

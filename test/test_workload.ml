@@ -21,7 +21,7 @@ let test_floor_uniform () =
 
 let test_lifetime_formula () =
   let cfg = Config.floor () in
-  let lifetime = Config.lifetime cfg in
+  let lifetime = Ssj_core.Baselines.remaining (Config.lifetime cfg) in
   (* S tuple with value v joins R while v >= f_R(t) - w_R = t - 1 - 10:
      last time = v + 11. *)
   let s_tuple = Ssj_stream.Tuple.make ~side:Ssj_stream.Tuple.S ~value:20 ~arrival:0 in
