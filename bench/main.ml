@@ -83,8 +83,12 @@ let bench_fig15_kernel () =
   Staged.stage (fun () ->
       x := !x +. Interp.Surface.eval surface 180.0 220.0)
 
-let bench_fig19_kernel lookahead =
-  (* One FlowExpect decision: graph build + min-cost-flow solve. *)
+let bench_fig19_kernel ?(warm = true) lookahead =
+  (* One FlowExpect decision: graph build + min-cost-flow solve.  [warm]
+     reuses one {!Flow_expect.handle} across iterations — the steady
+     state of the online policy, which holds a handle per instance; the
+     cold variant pays graph allocation and law recomputation each call.
+     Decisions are bit-identical either way. *)
   let r, s = Config.predictors (Config.floor ()) in
   let r = Predictor.advance r [| 0 |] and s = Predictor.advance s [| 1 |] in
   let cached =
@@ -94,10 +98,33 @@ let bench_fig19_kernel lookahead =
     [ Tuple.make ~side:Tuple.R ~value:0 ~arrival:0;
       Tuple.make ~side:Tuple.S ~value:1 ~arrival:0 ]
   in
+  let handle = if warm then Some (Flow_expect.handle ()) else None in
   Staged.stage (fun () ->
       ignore
-        (Flow_expect.decide ~r ~s ~lookahead ~now:0 ~cached ~arrivals
+        (Flow_expect.decide ?handle ~r ~s ~lookahead ~now:0 ~cached ~arrivals
            ~capacity:10 ()))
+
+let bench_fig13_surface_build () =
+  (* The Figure 13 precomputation alone: batched multi-target backward
+     DPs over one shared dense kernel, three L-functions at once. *)
+  let fitted = Real.bin_params Real.paper_params in
+  let lo, hi = Factory.real_surface_bounds fitted in
+  let ls = Array.map (fun alpha -> Lfun.exp_ ~alpha) [| 10.0; 50.0; 200.0 |] in
+  Staged.stage (fun () ->
+      ignore
+        (Precompute.ar1_caching_surfaces fitted ~ls ~vx_lo:lo ~vx_hi:hi
+           ~x0_lo:lo ~x0_hi:hi ~nv:5 ~nx:5 ~horizon:256 ()))
+
+let bench_nfold_doubling () =
+  (* 365-fold step convolution by doubling — the Table cold-jump path. *)
+  let step = Dist.discretized_normal ~sigma:1.0 ~bound:5 in
+  Staged.stage (fun () -> ignore (Convolve.nfold step 365))
+
+let bench_pair_fft_wide () =
+  (* One wide×wide convolution, far past the FFT cutoff. *)
+  let step = Dist.discretized_normal ~sigma:1.0 ~bound:5 in
+  let wide = Convolve.nfold step 64 in
+  Staged.stage (fun () -> ignore (Convolve.pair wide wide))
 
 let bench_opt_offline () =
   let trace = tower_trace 500 9 in
@@ -122,10 +149,15 @@ let micro_tests =
                   ~policy:(Factory.trend_heeb tower ())
                   ~capacity:20 ())));
       Test.make ~name:"fig13:HEEB-h2-365-days" (bench_fig13_kernel ());
+      Test.make ~name:"fig13:h2-surface-build" (bench_fig13_surface_build ());
       Test.make ~name:"fig15:bicubic-eval" (bench_fig15_kernel ());
       Test.make ~name:"fig19:flowexpect-step-l5" (bench_fig19_kernel 5);
       Test.make ~name:"fig19:flowexpect-step-l20" (bench_fig19_kernel 20);
+      Test.make ~name:"fig19:flowexpect-step-l20-cold"
+        (bench_fig19_kernel ~warm:false 20);
       Test.make ~name:"opt-offline:mcmf-500-steps" (bench_opt_offline ());
+      Test.make ~name:"prob:nfold-doubling-365" (bench_nfold_doubling ());
+      Test.make ~name:"prob:pair-fft-wide" (bench_pair_fft_wide ());
     ]
 
 let run_micro () =
@@ -169,6 +201,26 @@ let run_micro () =
    alongside the absolute time.  Only meaningful at the canonical
    50 x 5000 scale. *)
 let baseline_wall_s = 5.530
+
+(* The previous checked-in BENCH_joining.json (same host, before the fast
+   probability kernels / warm-started FlowExpect pass): emitted verbatim
+   under the artifact's "baseline" key so the speedups travel with the
+   fresh numbers, and so CI can flag regressions against fixed values
+   instead of the previous run's noise. *)
+let prev_wall_s = 1.643
+
+let prev_kernels_ns =
+  [
+    ("kernels/fig13:HEEB-h2-365-days", 522291656.0);
+    ("kernels/fig15:bicubic-eval", 553.9);
+    ("kernels/fig19:flowexpect-step-l20", 914343.0);
+    ("kernels/fig19:flowexpect-step-l5", 76818.0);
+    ("kernels/fig6:walk-caching-DP", 1990194.3);
+    ("kernels/fig8:HEEB-500-steps", 240569.1);
+    ("kernels/fig8:PROB-500-steps", 192611.3);
+    ("kernels/fig9-12:HEEB-cap20-500-steps", 457547.5);
+    ("kernels/opt-offline:mcmf-500-steps", 893791.8);
+  ]
 
 type sweep = {
   runs : int;
@@ -259,7 +311,18 @@ let write_json path sweep kernels =
       out "    %S: %.1f%s\n" name ns
         (if i = List.length kernels - 1 then "" else ","))
     kernels;
-  out "  }\n}\n";
+  out "  },\n";
+  out "  \"baseline\": {\n";
+  out "    \"note\": \"previous checked-in run on the same host, before the \
+       fast-kernels pass\",\n";
+  out "    \"wall_s\": %.3f,\n" prev_wall_s;
+  out "    \"kernels_ns\": {\n";
+  List.iteri
+    (fun i (name, ns) ->
+      out "      %S: %.1f%s\n" name ns
+        (if i = List.length prev_kernels_ns - 1 then "" else ","))
+    prev_kernels_ns;
+  out "    }\n  }\n}\n";
   close_out oc;
   Format.printf "wrote %s@." path
 

@@ -1,0 +1,110 @@
+/* Banded multi-target sweep of the backward first-passage DP
+   (Precompute.caching_columns_batch).
+
+   One call advances every still-active target by one step:
+
+     u_t(x) <- sum_j rows[x*w + j] * masked_t[slot[x] + j]
+
+   The row matrix is the dense Markov kernel clipped to the window and
+   zero-padded to a uniform width w (Markov.Dense); padding multiplies
+   against in-window entries but adds exact +0.0 into a non-negative
+   accumulator, so it cannot change the result.  Targets are swept in
+   the inner loop so each kernel row is loaded once per step and served
+   to all targets out of L1 — the row matrix is the only large operand.
+
+   Per-target arithmetic is independent of which other targets are in
+   the batch and of the order they appear in `active`, which is what
+   makes batch-of-n bit-identical to n separate single-target runs (and
+   the surface build bit-identical for any SSJ_JOBS chunking).
+
+   The dot product dispatches at first use: an AVX2+FMA variant on
+   x86-64 hosts that support it, a portable scalar variant otherwise.
+   Both keep the same shape (two independent accumulator chains, fixed
+   reduction order, scalar tail) so a given host always sums in one
+   deterministic order. */
+
+#include <caml/mlvalues.h>
+
+typedef double (*dot_fn)(const double *, const double *, long);
+
+static double dot_scalar(const double *a, const double *b, long w)
+{
+  double s0 = 0.0, s1 = 0.0;
+  long j = 0;
+  for (; j + 2 <= w; j += 2) {
+    s0 += a[j] * b[j];
+    s1 += a[j + 1] * b[j + 1];
+  }
+  double s = s0 + s1;
+  for (; j < w; j++) s += a[j] * b[j];
+  return s;
+}
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(SSJ_NO_AVX2)
+#define SSJ_HAVE_AVX2_PATH 1
+#include <immintrin.h>
+
+__attribute__((target("avx2,fma")))
+static double dot_avx2(const double *a, const double *b, long w)
+{
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  long j = 0;
+  for (; j + 8 <= w; j += 8) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + j), _mm256_loadu_pd(b + j), acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + j + 4), _mm256_loadu_pd(b + j + 4),
+                           acc1);
+  }
+  if (j + 4 <= w) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + j), _mm256_loadu_pd(b + j), acc0);
+    j += 4;
+  }
+  __m256d acc = _mm256_add_pd(acc0, acc1);
+  double lane[4];
+  _mm256_storeu_pd(lane, acc);
+  double s = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+  for (; j < w; j++) s += a[j] * b[j];
+  return s;
+}
+#endif
+
+static dot_fn dot_impl = 0;
+
+static dot_fn resolve_dot(void)
+{
+#ifdef SSJ_HAVE_AVX2_PATH
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+    return dot_avx2;
+#endif
+  return dot_scalar;
+}
+
+CAMLprim value ssj_dp_sweep_native(value vrows, value vw, value vn, value vslot,
+                                   value vmasked, value vu, value vactive,
+                                   value vnact)
+{
+  const double *rows = (const double *)vrows;
+  const double *masked = (const double *)vmasked;
+  double *u = (double *)vu;
+  long w = Long_val(vw);
+  long n = Long_val(vn);
+  long nact = Long_val(vnact);
+  dot_fn dot = dot_impl;
+  if (!dot) dot = dot_impl = resolve_dot();
+  for (long x = 0; x < n; x++) {
+    const double *row = rows + x * w;
+    long base = Long_val(Field(vslot, x));
+    for (long a = 0; a < nact; a++) {
+      long t = Long_val(Field(vactive, a));
+      u[t * n + x] = dot(row, masked + t * n + base, w);
+    }
+  }
+  return Val_unit;
+}
+
+CAMLprim value ssj_dp_sweep_bytecode(value *argv, int argn)
+{
+  (void)argn;
+  return ssj_dp_sweep_native(argv[0], argv[1], argv[2], argv[3], argv[4],
+                             argv[5], argv[6], argv[7]);
+}

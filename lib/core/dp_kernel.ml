@@ -1,0 +1,33 @@
+external sweep_stub :
+  float array ->
+  int ->
+  int ->
+  int array ->
+  float array ->
+  float array ->
+  int array ->
+  int ->
+  unit = "ssj_dp_sweep_bytecode" "ssj_dp_sweep_native"
+[@@noalloc]
+
+let sweep ~rows ~w ~n ~slot ~masked ~u ~active ~nact =
+  if w <= 0 || n <= 0 then invalid_arg "Dp_kernel.sweep: empty kernel";
+  if Array.length rows < n * w then invalid_arg "Dp_kernel.sweep: rows too short";
+  if Array.length slot < n then invalid_arg "Dp_kernel.sweep: slot too short";
+  (* The C side indexes masked.(t·n + slot.(x) + j) for j < w with no
+     bounds checks; keep the unsafe window impossible to reach.  O(n)
+     per call, dwarfed by the O(n·w·nact) sweep itself. *)
+  for x = 0 to n - 1 do
+    if slot.(x) < 0 || slot.(x) > n - w then
+      invalid_arg "Dp_kernel.sweep: slot out of range"
+  done;
+  if Array.length masked <> Array.length u then
+    invalid_arg "Dp_kernel.sweep: masked/u length mismatch";
+  if nact < 0 || nact > Array.length active then
+    invalid_arg "Dp_kernel.sweep: bad active count";
+  let nt = Array.length u / n in
+  for a = 0 to nact - 1 do
+    if active.(a) < 0 || active.(a) >= nt then
+      invalid_arg "Dp_kernel.sweep: active target out of range"
+  done;
+  sweep_stub rows w n slot masked u active nact

@@ -1,0 +1,25 @@
+(** C kernel of the backward first-passage DP (AVX2/FMA when the host
+    supports it, portable scalar otherwise; picked once at first call).
+
+    [sweep ~rows ~w ~n ~slot ~masked ~u ~active ~nact] advances the
+    first [nact] targets listed in [active] by one DP step over a dense
+    banded kernel ({!Ssj_model.Markov.Dense} layout):
+
+    [u.(t·n + x) ← Σ_j rows.(x·w + j) · masked.(t·n + slot.(x) + j)]
+
+    Preconditions (checked in O(1) where possible): [rows] holds [n]
+    rows of uniform width [w]; every [slot.(x)] lies in [0, n − w];
+    [masked] and [u] are flat [nt × n] matrices.  Per-target results do
+    not depend on the batch composition or on the order of [active] —
+    the determinism contract the precompute tests pin down. *)
+
+val sweep :
+  rows:float array ->
+  w:int ->
+  n:int ->
+  slot:int array ->
+  masked:float array ->
+  u:float array ->
+  active:int array ->
+  nact:int ->
+  unit

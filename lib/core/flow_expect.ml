@@ -5,59 +5,105 @@ open Ssj_flow
 type plan = { keep : Tuple.t list; expected_benefit : float }
 type solver = [ `Ssp | `Scaling ]
 
+type handle = {
+  mutable mcmf : Mcmf.t option;
+  mutable scaling : Scaling.t option;
+  (* Conditional-law cache, keyed by the predictor value itself:
+     predictors are immutable ([observe] returns a new one), so physical
+     equality proves the cached laws are still those of the predictor at
+     hand.  Consecutive [decide] calls with an unchanged stream reuse the
+     whole array of per-offset laws. *)
+  mutable laws_r : (Predictor.t * Ssj_prob.Pmf.t array) option;
+  mutable laws_s : (Predictor.t * Ssj_prob.Pmf.t array) option;
+}
+
+let handle () = { mcmf = None; scaling = None; laws_r = None; laws_s = None }
+
 type entity =
   | Determined of Tuple.side * int (* side, value *)
   | Undetermined of Tuple.side * int (* side, arrival offset j >= 1 *)
 
-(* Backend-agnostic solving: collect arcs, dispatch, read back the flow on
-   the source arcs (the decision) and the total cost. *)
-let solve_arcs ~solver ~n_nodes ~arcs ~source ~sink ~target ~n_source_arcs =
+let laws ~cached ~store pred l =
+  match cached with
+  | Some (p, arr) when p == pred && Array.length arr >= l -> arr
+  | _ ->
+    let arr = Array.init l (fun i -> pred.Predictor.pmf (i + 1)) in
+    store (pred, arr);
+    arr
+
+(* The time-expanded graph is a DAG: arcs go source → slice 0, slice i →
+   slice i+1, old entities of slice i → connector i → new entities of
+   slice i, and last slice → sink.  Both backends get the arcs in the
+   same order, source arcs first, so the decision reads back from the
+   first [base] arc handles. *)
+let solve_arcs ~solver ~handle:h ~n_nodes ~base ~add_all ~source ~sink ~target =
   match solver with
   | `Ssp ->
-    let g = Mcmf.create n_nodes in
-    let handles =
-      List.map
-        (fun (src, dst, cap, cost) -> Mcmf.add_arc g ~src ~dst ~cap ~cost)
-        arcs
+    let g =
+      match h with
+      | Some ({ mcmf = Some g; _ } : handle) ->
+        Mcmf.reset g ~n:n_nodes;
+        g
+      | _ ->
+        let g = Mcmf.create n_nodes in
+        (match h with Some h -> h.mcmf <- Some g | None -> ());
+        g
     in
-    let result = Mcmf.solve g ~source ~sink ~target in
-    let source_flows =
-      List.filteri (fun i _ -> i < n_source_arcs) handles
-      |> List.map (fun h -> Mcmf.flow_on g h)
-    in
-    (source_flows, result.Mcmf.cost)
+    let src_arcs = ref [] in
+    let count = ref 0 in
+    add_all (fun src dst cap cost ->
+        let a = Mcmf.add_arc g ~src ~dst ~cap ~cost in
+        if !count < base then src_arcs := a :: !src_arcs;
+        incr count);
+    let result = Mcmf.solve ~acyclic:true g ~source ~sink ~target in
+    let flows = List.rev_map (fun a -> Mcmf.flow_on g a) !src_arcs in
+    (flows, result.Mcmf.cost)
   | `Scaling ->
-    let g = Scaling.create n_nodes in
-    let handles =
-      List.map
-        (fun (src, dst, cap, cost) -> Scaling.add_arc g ~src ~dst ~cap ~cost)
-        arcs
+    let g =
+      match h with
+      | Some ({ scaling = Some g; _ } : handle) ->
+        Scaling.reset g ~n:n_nodes;
+        g
+      | _ ->
+        let g = Scaling.create n_nodes in
+        (match h with Some h -> h.scaling <- Some g | None -> ());
+        g
     in
+    let src_arcs = ref [] in
+    let count = ref 0 in
+    add_all (fun src dst cap cost ->
+        let a = Scaling.add_arc g ~src ~dst ~cap ~cost in
+        if !count < base then src_arcs := a :: !src_arcs;
+        incr count);
     let result = Scaling.solve g ~source ~sink ~target in
-    let source_flows =
-      List.filteri (fun i _ -> i < n_source_arcs) handles
-      |> List.map (fun h -> Scaling.flow_on g h)
-    in
-    (source_flows, result.Scaling.cost)
+    let flows = List.rev_map (fun a -> Scaling.flow_on g a) !src_arcs in
+    (flows, result.Scaling.cost)
 
-let decide ?(solver = `Ssp) ~r ~s ~lookahead ~now:_ ~cached ~arrivals ~capacity
-    () =
+let decide ?(solver = `Ssp) ?handle:h ~r ~s ~lookahead ~now:_ ~cached ~arrivals
+    ~capacity () =
   if lookahead < 1 then invalid_arg "Flow_expect.decide: lookahead < 1";
-  let candidates = cached @ arrivals in
-  let base = List.length candidates in
+  let candidates = Array.of_list (cached @ arrivals) in
+  let base = Array.length candidates in
   let target = min capacity base in
   if target = 0 then { keep = []; expected_benefit = 0.0 }
   else begin
     let l = lookahead in
     (* Conditional laws of both streams at offsets 1..l, shared by all
-       cost computations. *)
-    let pmf_r = Array.init (l + 1) (fun d -> if d = 0 then None else Some (r.Predictor.pmf d)) in
-    let pmf_s = Array.init (l + 1) (fun d -> if d = 0 then None else Some (s.Predictor.pmf d)) in
+       cost computations (and by consecutive steps through the handle). *)
+    let laws_r =
+      laws
+        ~cached:(match h with Some h -> h.laws_r | None -> None)
+        ~store:(fun e -> match h with Some h -> h.laws_r <- Some e | None -> ())
+        r l
+    in
+    let laws_s =
+      laws
+        ~cached:(match h with Some h -> h.laws_s | None -> None)
+        ~store:(fun e -> match h with Some h -> h.laws_s <- Some e | None -> ())
+        s l
+    in
     let law side d =
-      match (side, pmf_r.(d), pmf_s.(d)) with
-      | Tuple.R, Some p, _ -> p
-      | Tuple.S, _, Some p -> p
-      | _, None, _ | _, _, None -> assert false
+      match side with Tuple.R -> laws_r.(d - 1) | Tuple.S -> laws_s.(d - 1)
     in
     (* Expected one-step benefit of keeping entity [e] through time t0+d. *)
     let benefit e d =
@@ -68,7 +114,7 @@ let decide ?(solver = `Ssp) ~r ~s ~lookahead ~now:_ ~cached ~arrivals ~capacity
     in
     let entity_at idx =
       if idx < base then begin
-        let t = List.nth candidates idx in
+        let t = candidates.(idx) in
         Determined (t.Tuple.side, t.Tuple.value)
       end
       else begin
@@ -92,41 +138,43 @@ let decide ?(solver = `Ssp) ~r ~s ~lookahead ~now:_ ~cached ~arrivals ~capacity
     let connector i = conn_off + i - 1 in
     let source = 0 and sink = 1 in
     (* Source arcs first, so the decision can be read back by index. *)
-    let arcs = ref [] in
-    let add src dst cap cost = arcs := (src, dst, cap, cost) :: !arcs in
-    for e = 0 to base - 1 do
-      add source (node 0 e) 1 0.0
-    done;
-    (* Slice 0 contains no connector: arrivals are already determined. *)
-    for i = 0 to l - 2 do
-      for e = 0 to entity_count i - 1 do
-        add (node i e) (node (i + 1) e) 1 (-.benefit (entity_at e) (i + 1))
-      done
-    done;
-    for i = 1 to l - 1 do
-      let c = connector i in
-      for e = 0 to entity_count (i - 1) - 1 do
-        add (node i e) c 1 0.0
+    let add_all add =
+      for e = 0 to base - 1 do
+        add source (node 0 e) 1 0.0
       done;
-      let new0 = base + (2 * (i - 1)) in
-      add c (node i new0) 1 0.0;
-      add c (node i (new0 + 1)) 1 0.0
-    done;
-    for e = 0 to entity_count (l - 1) - 1 do
-      add (node (l - 1) e) sink 1 (-.benefit (entity_at e) l)
-    done;
+      (* Slice 0 contains no connector: arrivals are already determined. *)
+      for i = 0 to l - 2 do
+        for e = 0 to entity_count i - 1 do
+          add (node i e) (node (i + 1) e) 1 (-.benefit (entity_at e) (i + 1))
+        done
+      done;
+      for i = 1 to l - 1 do
+        let c = connector i in
+        for e = 0 to entity_count (i - 1) - 1 do
+          add (node i e) c 1 0.0
+        done;
+        let new0 = base + (2 * (i - 1)) in
+        add c (node i new0) 1 0.0;
+        add c (node i (new0 + 1)) 1 0.0
+      done;
+      for e = 0 to entity_count (l - 1) - 1 do
+        add (node (l - 1) e) sink 1 (-.benefit (entity_at e) l)
+      done
+    in
     let source_flows, cost =
-      solve_arcs ~solver ~n_nodes ~arcs:(List.rev !arcs) ~source ~sink ~target
-        ~n_source_arcs:base
+      solve_arcs ~solver ~handle:h ~n_nodes ~base ~add_all ~source ~sink ~target
     in
     let keep =
-      List.filteri (fun e _ -> List.nth source_flows e > 0) candidates
+      List.filteri
+        (fun e _ -> List.nth source_flows e > 0)
+        (Array.to_list candidates)
     in
     { keep; expected_benefit = -.cost }
   end
 
 let policy ?name ?solver ~r ~s ~lookahead () =
   let r_pred = ref r and s_pred = ref s in
+  let h = handle () in
   let name =
     match name with
     | Some n -> n
@@ -140,8 +188,8 @@ let policy ?name ?solver ~r ~s ~lookahead () =
         | Tuple.S -> s_pred := !s_pred.Predictor.observe t.Tuple.value)
       arrivals;
     let plan =
-      decide ?solver ~r:!r_pred ~s:!s_pred ~lookahead ~now ~cached ~arrivals
-        ~capacity ()
+      decide ?solver ~handle:h ~r:!r_pred ~s:!s_pred ~lookahead ~now ~cached
+        ~arrivals ~capacity ()
     in
     plan.keep
   in

@@ -27,8 +27,21 @@ type solver = [ `Ssp | `Scaling ]
     the algorithm the paper cites).  Both return exact optima; agreement
     is property-tested. *)
 
+type handle
+(** Warm-start arena for repeated {!decide} calls: holds one reusable
+    solver graph per backend (reset, not reallocated, each step — see
+    {!Ssj_flow.Mcmf.reset}) and caches the per-offset conditional-law
+    arrays, revalidated by physical equality of the predictors (they are
+    immutable, so [==] proves the laws are current).  Decisions are
+    bit-identical with and without a handle; the handle only removes
+    per-step allocation and law recomputation. *)
+
+val handle : unit -> handle
+(** A fresh arena; share one per policy instance (not across domains). *)
+
 val decide :
   ?solver:solver ->
+  ?handle:handle ->
   r:Ssj_model.Predictor.t ->
   s:Ssj_model.Predictor.t ->
   lookahead:int ->

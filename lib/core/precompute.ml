@@ -10,92 +10,110 @@ let walk_joining_curve ~step ~drift ~l ~lo ~hi =
   let n = hi - lo + 1 in
   let h = Array.make n 0.0 in
   for delta = 1 to horizon do
-    let q = Convolve.Table.get table delta in
     let w = l.Lfun.l delta in
-    if w > 0.0 then
-      for i = 0 to n - 1 do
-        let d = lo + i in
-        let p = Pmf.prob q (d - (drift * delta)) in
-        if p > 0.0 then h.(i) <- h.(i) +. (p *. w)
-      done
+    if w > 0.0 then begin
+      let q = Convolve.Table.get table delta in
+      (* h.(i) += w·Pr{Σ steps = (lo + i) − drift·delta}: one banded
+         accumulation over the support overlap, no per-cell lookups. *)
+      Pmf.add_into q ~dst:h ~lo:(lo - (drift * delta)) ~scale:w
+    end
   done;
   Interp.Curve.create ~x0:(float_of_int lo) ~dx:1.0 h
 
-(* Dense kernel rows clipped to the window, for fast backward steps. *)
-type dense_kernel = {
-  lo : int;
-  n : int;
-  row_lo : int array; (* first window index each row covers *)
-  rows : float array array;
-}
-
-let densify (k : Markov.kernel) =
-  let n = k.Markov.hi - k.Markov.lo + 1 in
-  let row_lo = Array.make n 0 in
-  let rows =
-    Array.init n (fun i ->
-        let pmf = k.Markov.row (k.Markov.lo + i) in
-        let ylo = max (Pmf.lo pmf) k.Markov.lo in
-        let yhi = min (Pmf.hi pmf) k.Markov.hi in
-        row_lo.(i) <- ylo - k.Markov.lo;
-        if ylo > yhi then [||]
-        else Array.init (yhi - ylo + 1) (fun j -> Pmf.prob pmf (ylo + j)))
-  in
-  { lo = k.Markov.lo; n; row_lo; rows }
-
-let caching_columns ~kernel ~target ~ls ?(horizon = 4096) ?(stop_eps = 1e-9) () =
-  let dk = densify kernel in
+let caching_columns_batch ~kernel ~targets ~ls ?(horizon = 4096)
+    ?(stop_eps = 1e-9) () =
+  let dk = Markov.Dense.of_kernel kernel in
+  let n = dk.Markov.Dense.n and w = dk.Markov.Dense.w in
+  let rows = dk.Markov.Dense.rows and slot = dk.Markov.Dense.slot in
+  let nt = Array.length targets in
   let nl = Array.length ls in
-  let horizon = Array.fold_left (fun acc l -> max acc l.Lfun.horizon) 0 ls |> min horizon in
-  let h = Array.init nl (fun _ -> Array.make dk.n 0.0) in
-  if target < kernel.Markov.lo || target > kernel.Markov.hi then h
-  else begin
-    let ti = target - dk.lo in
-    (* u.(x) = Pr{first visit of target at current step d | start x}. *)
-    let u = Array.make dk.n 0.0 in
-    (* d = 1: one-step hit probability. *)
-    for x = 0 to dk.n - 1 do
-      let row = dk.rows.(x) and rlo = dk.row_lo.(x) in
-      let j = ti - rlo in
-      if j >= 0 && j < Array.length row then u.(x) <- row.(j)
-    done;
-    let masked = Array.make dk.n 0.0 in
-    let d = ref 1 in
-    let continue = ref true in
-    while !continue && !d <= horizon do
-      (* Accumulate this step's contribution for every L. *)
-      let sup = ref 0.0 in
+  let horizon =
+    Array.fold_left (fun acc l -> max acc l.Lfun.horizon) 0 ls |> min horizon
+  in
+  let h = Array.init nt (fun _ -> Array.init nl (fun _ -> Array.make n 0.0)) in
+  (* Weight tables hoisted out of the DP: wtab.(j).(d) = L_j(d) and its
+     per-step max, evaluated once instead of per target per step. *)
+  let wtab =
+    Array.map
+      (fun l ->
+        Array.init (horizon + 2) (fun d -> if d = 0 then 0.0 else l.Lfun.l d))
+      ls
+  in
+  let maxw =
+    Array.init (horizon + 2) (fun d ->
+        Array.fold_left (fun acc t -> max acc t.(d)) 0.0 wtab)
+  in
+  (* Per-target DP state, flattened so the C sweep sees one base pointer:
+     u.(t·n + x) = Pr{first visit of targets.(t) at current step | start x}. *)
+  let u = Array.make (nt * n) 0.0 in
+  let masked = Array.make (nt * n) 0.0 in
+  let active = Array.make (max nt 1) 0 in
+  let nact = ref 0 in
+  for t = 0 to nt - 1 do
+    let target = targets.(t) in
+    if target >= kernel.Markov.lo && target <= kernel.Markov.hi then begin
+      (* d = 1: one-step hit probability. *)
+      let ti = target - dk.Markov.Dense.lo in
+      let off = t * n in
+      for x = 0 to n - 1 do
+        let j = ti - slot.(x) in
+        if j >= 0 && j < w then u.(off + x) <- rows.((x * w) + j)
+      done;
+      active.(!nact) <- t;
+      incr nact
+    end
+    (* Out-of-window targets keep their all-zero columns, as before. *)
+  done;
+  let d = ref 1 in
+  while !nact > 0 && !d <= horizon do
+    (* Accumulate this step's contribution for every L, per target. *)
+    for a = 0 to !nact - 1 do
+      let t = active.(a) in
+      let off = t * n in
       for j = 0 to nl - 1 do
-        let w = ls.(j).Lfun.l !d in
-        if w > 0.0 then begin
-          let hj = h.(j) in
-          for x = 0 to dk.n - 1 do
-            hj.(x) <- hj.(x) +. (u.(x) *. w)
+        let wj = wtab.(j).(!d) in
+        if wj > 0.0 then begin
+          let hj = h.(t).(j) in
+          for x = 0 to n - 1 do
+            Array.unsafe_set hj x
+              (Array.unsafe_get hj x +. (Array.unsafe_get u (off + x) *. wj))
           done
         end
+      done
+    done;
+    (* Per-target stop test (identical to the single-target rule: the
+       largest remaining per-step contribution is dust), then build the
+       masked vector for the survivors.  Retiring a target swap-removes
+       it from [active]; per-target arithmetic is independent of batch
+       composition and order, so results match single-target runs. *)
+    let a = ref 0 in
+    while !a < !nact do
+      let t = active.(!a) in
+      let off = t * n in
+      let sup = ref 0.0 in
+      for x = 0 to n - 1 do
+        let ux = Array.unsafe_get u (off + x) in
+        if ux > !sup then sup := ux
       done;
-      for x = 0 to dk.n - 1 do
-        if u.(x) > !sup then sup := u.(x)
-      done;
-      (* Stop when the largest remaining per-step contribution is dust. *)
-      let max_l = Array.fold_left (fun acc l -> max acc (l.Lfun.l (!d + 1))) 0.0 ls in
-      if !sup *. max_l < stop_eps || !sup = 0.0 then continue := false
+      if !sup *. maxw.(!d + 1) < stop_eps || !sup = 0.0 then begin
+        active.(!a) <- active.(!nact - 1);
+        decr nact
+      end
       else begin
-        Array.blit u 0 masked 0 dk.n;
-        masked.(ti) <- 0.0;
-        for x = 0 to dk.n - 1 do
-          let row = dk.rows.(x) and rlo = dk.row_lo.(x) in
-          let acc = ref 0.0 in
-          for j = 0 to Array.length row - 1 do
-            acc := !acc +. (row.(j) *. masked.(rlo + j))
-          done;
-          u.(x) <- !acc
-        done;
-        incr d
+        Array.blit u off masked off n;
+        masked.(off + (targets.(t) - dk.Markov.Dense.lo)) <- 0.0;
+        incr a
       end
     done;
-    h
-  end
+    if !nact > 0 then begin
+      Dp_kernel.sweep ~rows ~w ~n ~slot ~masked ~u ~active ~nact:!nact;
+      incr d
+    end
+  done;
+  h
+
+let caching_columns ~kernel ~target ~ls ?horizon ?stop_eps () =
+  (caching_columns_batch ~kernel ~targets:[| target |] ~ls ?horizon ?stop_eps ()).(0)
 
 let walk_caching_curve ~step ~drift ~l ~lo ~hi ?(horizon = 4096) () =
   if lo > hi then invalid_arg "Precompute.walk_caching_curve: lo > hi";
@@ -152,19 +170,55 @@ let ar1_caching_exact params ~l ?(horizon = 2048) ~vx ~x0 () =
   columns.(0).(x0 - kernel.Markov.lo)
 
 let ar1_caching_surfaces params ~ls ~vx_lo ~vx_hi ~x0_lo ~x0_hi ~nv ~nx
-    ?(horizon = 2048) () =
+    ?(horizon = 2048) ?jobs () =
   if nv < 2 || nx < 2 then invalid_arg "Precompute.ar1_caching_surfaces: grid < 2";
   let kernel = ar1_kernel params in
   let nl = Array.length ls in
   let dv = float_of_int (vx_hi - vx_lo) /. float_of_int (nv - 1) in
   let dx = float_of_int (x0_hi - x0_lo) /. float_of_int (nx - 1) in
+  let vxs =
+    Array.init nv (fun i ->
+        int_of_float (Float.round (float_of_int vx_lo +. (float_of_int i *. dv))))
+  in
+  (* Dedupe control targets (coarse grids can round two controls onto the
+     same integer), then split them into one batch per worker.  Each
+     batch shares a single dense kernel and row sweep across its
+     targets; per-target results are independent of batch composition,
+     so the surface is bit-identical for any [jobs]. *)
+  let distinct = ref [] in
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun vx ->
+      if not (Hashtbl.mem seen vx) then begin
+        Hashtbl.add seen vx ();
+        distinct := vx :: !distinct
+      end)
+    vxs;
+  let distinct = Array.of_list (List.rev !distinct) in
+  let nd = Array.length distinct in
+  let jobs =
+    max 1 (min (match jobs with Some j -> j | None -> Parallel.default_jobs ()) nd)
+  in
+  let chunks =
+    Array.init jobs (fun c ->
+        (* Contiguous split: chunk c gets [c·nd/jobs, (c+1)·nd/jobs). *)
+        let lo = c * nd / jobs and hi = (c + 1) * nd / jobs in
+        Array.sub distinct lo (hi - lo))
+  in
+  let chunk_columns =
+    Parallel.map ~jobs
+      (fun targets -> caching_columns_batch ~kernel ~targets ~ls ~horizon ())
+      chunks
+  in
+  let columns_of = Hashtbl.create 16 in
+  Array.iteri
+    (fun c targets ->
+      Array.iteri (fun t vx -> Hashtbl.replace columns_of vx chunk_columns.(c).(t)) targets)
+    chunks;
   (* values.(j).(i).(k): L index j, control vx index i, control x0 index k. *)
   let values = Array.init nl (fun _ -> Array.make_matrix nv nx 0.0) in
   for i = 0 to nv - 1 do
-    let vx =
-      int_of_float (Float.round (float_of_int vx_lo +. (float_of_int i *. dv)))
-    in
-    let columns = caching_columns ~kernel ~target:vx ~ls ~horizon () in
+    let columns = Hashtbl.find columns_of vxs.(i) in
     for j = 0 to nl - 1 do
       for k = 0 to nx - 1 do
         let x0 =

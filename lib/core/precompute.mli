@@ -35,7 +35,25 @@ val caching_columns :
     the caching [H] of a database tuple with value [target] when the last
     observed reference is [x], under [ls.(j)].  [horizon] caps the DP
     (default 4096); [stop_eps] (default 1e-9) stops once the largest
-    per-step contribution becomes negligible. *)
+    per-step contribution becomes negligible.  Equivalent to a
+    single-target {!caching_columns_batch}. *)
+
+val caching_columns_batch :
+  kernel:Ssj_model.Markov.kernel ->
+  targets:int array ->
+  ls:Lfun.t array ->
+  ?horizon:int ->
+  ?stop_eps:float ->
+  unit ->
+  float array array array
+(** The same DP run for several targets at once over one shared dense
+    kernel ({!Ssj_model.Markov.Dense}): each kernel row is loaded once
+    per step and serves every still-active target, and the inner banded
+    dot products run through the {!Dp_kernel} C sweep (AVX2/FMA where
+    available).  [result.(t)] equals
+    [caching_columns ~target:targets.(t) ...] bit for bit — per-target
+    arithmetic, early stopping and out-of-window handling do not depend
+    on the batch composition. *)
 
 val walk_caching_curve :
   step:Ssj_prob.Pmf.t ->
@@ -86,11 +104,16 @@ val ar1_caching_surfaces :
   nv:int ->
   nx:int ->
   ?horizon:int ->
+  ?jobs:int ->
   unit ->
   Interp.Surface.t array
 (** Bulk variant: one surface per [L], sharing the per-target DPs (the
     backward pass is independent of [L], so a whole α sweep costs the same
-    as a single surface).  Used by the Figure 13 memory-size sweep. *)
+    as a single surface).  Used by the Figure 13 memory-size sweep.
+    Distinct control targets are deduped and split into one
+    {!caching_columns_batch} per worker ([jobs], default
+    [Ssj_prob.Parallel.default_jobs ()], i.e. [SSJ_JOBS]); the result is
+    bit-identical for any job count. *)
 
 val ar1_kernel : Ssj_model.Ar1.params -> Ssj_model.Markov.kernel
 (** The truncated Markov kernel used by the caching DPs (stationary mean

@@ -1,48 +1,4 @@
-(* Domain-based fork/join map over an array of independent work items.
-
-   Each call spins up a pool of [jobs - 1] worker domains (the calling
-   domain participates as the last worker), hands out indices through an
-   atomic counter, and writes each result into its own slot — so the
-   output ordering, and therefore every downstream summary, is identical
-   for any job count and any scheduling.  Items must be independent: the
-   runner guarantees this by constructing a fresh policy per trace. *)
-
-let default_jobs () =
-  match Sys.getenv_opt "SSJ_JOBS" with
-  | None | Some "" -> Domain.recommended_domain_count ()
-  | Some s -> (
-    match int_of_string_opt (String.trim s) with
-    | Some n when n >= 1 -> n
-    | _ -> invalid_arg "SSJ_JOBS must be a positive integer")
-
-let map ?jobs f arr =
-  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
-  let n = Array.length arr in
-  if n = 0 then [||]
-  else if jobs = 1 || n = 1 then Array.map f arr
-  else begin
-    let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let failure = Atomic.make None in
-    let worker () =
-      let continue = ref true in
-      while !continue do
-        let i = Atomic.fetch_and_add next 1 in
-        if i >= n || Atomic.get failure <> None then continue := false
-        else
-          match f (Array.unsafe_get arr i) with
-          | v -> results.(i) <- Some v
-          | exception e ->
-            let bt = Printexc.get_raw_backtrace () in
-            ignore (Atomic.compare_and_set failure None (Some (e, bt)));
-            continue := false
-      done
-    in
-    let spawned = Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    Array.iter Domain.join spawned;
-    (match Atomic.get failure with
-    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-    | None -> ());
-    Array.map (function Some v -> v | None -> assert false) results
-  end
+(* The implementation lives in Ssj_prob so the precomputation layer
+   (lib/core) can use the same domain pool; re-exported here to keep the
+   engine-facing path stable. *)
+include Ssj_prob.Parallel

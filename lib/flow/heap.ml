@@ -21,28 +21,34 @@ let grow h item =
     h.items <- items'
   end
 
+(* Indices passed to [swap]/[sift_up]/[sift_down] are < h.len by
+   construction, so unsafe accesses are in bounds. *)
 let swap h i j =
-  let p = h.prios.(i) in
-  h.prios.(i) <- h.prios.(j);
-  h.prios.(j) <- p;
-  let x = h.items.(i) in
-  h.items.(i) <- h.items.(j);
-  h.items.(j) <- x
+  let prios = h.prios and items = h.items in
+  let p = Array.unsafe_get prios i in
+  Array.unsafe_set prios i (Array.unsafe_get prios j);
+  Array.unsafe_set prios j p;
+  let x = Array.unsafe_get items i in
+  Array.unsafe_set items i (Array.unsafe_get items j);
+  Array.unsafe_set items j x
 
 let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if h.prios.(i) < h.prios.(parent) then begin
+    if Array.unsafe_get h.prios i < Array.unsafe_get h.prios parent then begin
       swap h i parent;
       sift_up h parent
     end
   end
 
 let rec sift_down h i =
+  let prios = h.prios in
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < h.len && h.prios.(l) < h.prios.(!smallest) then smallest := l;
-  if r < h.len && h.prios.(r) < h.prios.(!smallest) then smallest := r;
+  if l < h.len && Array.unsafe_get prios l < Array.unsafe_get prios !smallest
+  then smallest := l;
+  if r < h.len && Array.unsafe_get prios r < Array.unsafe_get prios !smallest
+  then smallest := r;
   if !smallest <> i then begin
     swap h i !smallest;
     sift_down h !smallest
@@ -56,6 +62,16 @@ let push h prio item =
   sift_up h (h.len - 1)
 
 let peek_min h = if h.len = 0 then None else Some (h.prios.(0), h.items.(0))
+let min_prio h = h.prios.(0)
+let min_item h = h.items.(0)
+
+let drop_min h =
+  h.len <- h.len - 1;
+  if h.len > 0 then begin
+    h.prios.(0) <- h.prios.(h.len);
+    h.items.(0) <- h.items.(h.len);
+    sift_down h 0
+  end
 
 let pop_min h =
   if h.len = 0 then None

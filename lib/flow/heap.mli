@@ -18,3 +18,11 @@ val pop_min : 'a t -> (float * 'a) option
 
 val peek_min : 'a t -> (float * 'a) option
 val clear : 'a t -> unit
+
+(** Non-allocating decomposition of {!pop_min} for hot loops (without
+    flambda, the [(float * 'a) option] return boxes on every pop).  All
+    three require a non-empty heap — guard with {!is_empty}. *)
+
+val min_prio : 'a t -> float
+val min_item : 'a t -> 'a
+val drop_min : 'a t -> unit

@@ -1,14 +1,29 @@
 type arc = int
 
 type t = {
-  n : int;
+  mutable n : int;
   mutable m : int; (* number of user arcs; internal arcs = 2 * m *)
   mutable to_ : int array; (* indexed by internal arc id *)
   mutable cap : int array;
   mutable cost : float array;
-  mutable next : int array; (* adjacency chain: next arc out of same node *)
-  head : int array; (* head.(v) = first internal arc out of v, or -1 *)
   mutable solved : bool;
+  (* CSR adjacency, rebuilt once per solve (arcs sorted by source node in
+     insertion order): adj_arc.(adj_start.(v) .. adj_start.(v+1)-1) are
+     the internal arcs out of v.  Flat and cache-friendly where the old
+     per-arc linked chains pointer-chased all over the arc arrays. *)
+  mutable adj_start : int array; (* length ≥ n + 1 *)
+  mutable adj_arc : int array; (* length ≥ 2m *)
+  (* Solver scratch, kept across [reset] so a solver handle reused every
+     step (FlowExpect) stops churning the allocator: node-indexed arrays
+     are grown on demand and re-filled per solve, the Dijkstra frontier
+     heap is cleared per call. *)
+  mutable pot : float array;
+  mutable dist : float array;
+  mutable pred_arc : int array;
+  mutable flag : bool array; (* Bellman–Ford in-queue marks *)
+  mutable order : int array; (* topological order scratch *)
+  mutable indegree : int array;
+  heap : int Heap.t;
 }
 
 let create n =
@@ -18,10 +33,23 @@ let create n =
     to_ = [||];
     cap = [||];
     cost = [||];
-    next = [||];
-    head = Array.make n (-1);
     solved = false;
+    adj_start = [||];
+    adj_arc = [||];
+    pot = [||];
+    dist = [||];
+    pred_arc = [||];
+    flag = [||];
+    order = [||];
+    indegree = [||];
+    heap = Heap.create ();
   }
+
+let reset g ~n =
+  if n < 1 then invalid_arg "Mcmf.reset: n < 1";
+  g.n <- n;
+  g.m <- 0;
+  g.solved <- false
 
 let node_count g = g.n
 let arc_count g = g.m
@@ -38,22 +66,21 @@ let ensure_capacity g =
     in
     g.to_ <- grow g.to_ 0;
     g.cap <- grow g.cap 0;
-    g.cost <- grow g.cost 0.0;
-    g.next <- grow g.next (-1)
+    g.cost <- grow g.cost 0.0
   end
+
+(* The source of internal arc [a] is the head of its twin. *)
+let arc_src g a = g.to_.(a lxor 1)
 
 let add_internal g src dst cap cost =
   ensure_capacity g;
-  let place i src dst cap cost =
-    g.to_.(i) <- dst;
-    g.cap.(i) <- cap;
-    g.cost.(i) <- cost;
-    g.next.(i) <- g.head.(src);
-    g.head.(src) <- i
-  in
   let fwd = 2 * g.m and bwd = (2 * g.m) + 1 in
-  place fwd src dst cap cost;
-  place bwd dst src 0 (-.cost);
+  g.to_.(fwd) <- dst;
+  g.cap.(fwd) <- cap;
+  g.cost.(fwd) <- cost;
+  g.to_.(bwd) <- src;
+  g.cap.(bwd) <- 0;
+  g.cost.(bwd) <- -.cost;
   g.m <- g.m + 1;
   fwd / 2
 
@@ -69,12 +96,51 @@ type result = { flow : int; cost : float }
 
 let infinity_dist = Float.max_float
 
+let ensure_scratch g =
+  if Array.length g.pot < g.n then begin
+    let cap = max g.n (2 * Array.length g.pot) in
+    g.pot <- Array.make cap 0.0;
+    g.dist <- Array.make cap 0.0;
+    g.pred_arc <- Array.make cap (-1);
+    g.flag <- Array.make cap false;
+    g.order <- Array.make cap 0;
+    g.indegree <- Array.make cap 0
+  end
+
+let build_adjacency g =
+  ensure_scratch g;
+  let narcs = 2 * g.m in
+  if Array.length g.adj_start < g.n + 1 then
+    g.adj_start <- Array.make (max (g.n + 1) (2 * Array.length g.adj_start)) 0;
+  if Array.length g.adj_arc < narcs then
+    g.adj_arc <- Array.make (max narcs (2 * Array.length g.adj_arc)) 0;
+  let start = g.adj_start in
+  Array.fill start 0 (g.n + 1) 0;
+  for a = 0 to narcs - 1 do
+    let s = arc_src g a in
+    start.(s + 1) <- start.(s + 1) + 1
+  done;
+  for v = 1 to g.n do
+    start.(v) <- start.(v) + start.(v - 1)
+  done;
+  (* Fill each node's range in descending arc id, matching the traversal
+     order of the linked chains this layout replaced (head = last added);
+     keeps path tie-breaking, and thus solver output, bit-identical. *)
+  let cursor = g.indegree in
+  Array.blit start 0 cursor 0 g.n;
+  for a = narcs - 1 downto 0 do
+    let s = arc_src g a in
+    g.adj_arc.(cursor.(s)) <- a;
+    cursor.(s) <- cursor.(s) + 1
+  done
+
 (* Bellman–Ford (queue-based) over residual arcs, to obtain initial
    potentials that make all reduced costs non-negative. *)
 let bellman_ford g source dist =
   Array.fill dist 0 g.n infinity_dist;
   dist.(source) <- 0.0;
-  let in_queue = Array.make g.n false in
+  let in_queue = g.flag in
+  Array.fill in_queue 0 g.n false;
   let q = Queue.create () in
   Queue.add source q;
   in_queue.(source) <- true;
@@ -85,9 +151,8 @@ let bellman_ford g source dist =
     if !rounds > limit + g.n then failwith "Mcmf: negative cycle detected";
     let u = Queue.take q in
     in_queue.(u) <- false;
-    let arc = ref g.head.(u) in
-    while !arc >= 0 do
-      let a = !arc in
+    for idx = g.adj_start.(u) to g.adj_start.(u + 1) - 1 do
+      let a = g.adj_arc.(idx) in
       if g.cap.(a) > 0 then begin
         let v = g.to_.(a) in
         let nd = dist.(u) +. g.cost.(a) in
@@ -98,14 +163,16 @@ let bellman_ford g source dist =
             in_queue.(v) <- true
           end
         end
-      end;
-      arc := g.next.(a)
+      end
     done
   done
 
 (* Dijkstra on reduced costs; fills [dist] and [pred_arc] (internal arc id
-   used to reach each node, or -1). *)
-let dijkstra g source pot dist pred_arc heap =
+   used to reach each node, or -1).  Stops as soon as [sink] is settled:
+   the shortest source→sink path is then final, and the caller caps the
+   potential update of unsettled nodes at [dist sink], which keeps every
+   reduced cost non-negative (the standard early-exit SSP refinement). *)
+let dijkstra g source sink pot dist pred_arc heap =
   Array.fill dist 0 g.n infinity_dist;
   Array.fill pred_arc 0 g.n (-1);
   Heap.clear heap;
@@ -113,28 +180,36 @@ let dijkstra g source pot dist pred_arc heap =
   Heap.push heap 0.0 source;
   let continue = ref true in
   while !continue do
-    match Heap.pop_min heap with
-    | None -> continue := false
-    | Some (d, u) ->
-      if d <= dist.(u) +. 1e-12 then begin
-        let arc = ref g.head.(u) in
-        while !arc >= 0 do
-          let a = !arc in
-          if g.cap.(a) > 0 && pot.(g.to_.(a)) < infinity_dist then begin
-            let v = g.to_.(a) in
-            (* Reduced cost is non-negative in exact arithmetic; clamp
-               tiny negatives from float rounding. *)
-            let rc = max 0.0 (g.cost.(a) +. pot.(u) -. pot.(v)) in
-            let nd = dist.(u) +. rc in
-            if nd < dist.(v) -. 1e-15 then begin
-              dist.(v) <- nd;
-              pred_arc.(v) <- a;
-              Heap.push heap nd v
+    if Heap.is_empty heap then continue := false
+    else begin
+      let d = Heap.min_prio heap in
+      let u = Heap.min_item heap in
+      Heap.drop_min heap;
+      if u = sink then continue := false
+      else if d <= Array.unsafe_get dist u +. 1e-12 then begin
+        let adj_arc = g.adj_arc and cap = g.cap and to_ = g.to_ in
+        let cost = g.cost in
+        let du = Array.unsafe_get dist u and pu = Array.unsafe_get pot u in
+        for idx = g.adj_start.(u) to g.adj_start.(u + 1) - 1 do
+          let a = Array.unsafe_get adj_arc idx in
+          if Array.unsafe_get cap a > 0 then begin
+            let v = Array.unsafe_get to_ a in
+            let pv = Array.unsafe_get pot v in
+            if pv < infinity_dist then begin
+              (* Reduced cost is non-negative in exact arithmetic; clamp
+                 tiny negatives from float rounding. *)
+              let rc = max 0.0 (Array.unsafe_get cost a +. pu -. pv) in
+              let nd = du +. rc in
+              if nd < Array.unsafe_get dist v -. 1e-15 then begin
+                Array.unsafe_set dist v nd;
+                Array.unsafe_set pred_arc v a;
+                Heap.push heap nd v
+              end
             end
-          end;
-          arc := g.next.(a)
+          end
         done
       end
+    end
   done
 
 let path_true_cost g pred_arc sink =
@@ -148,11 +223,12 @@ let path_true_cost g pred_arc sink =
    acyclic graph, via one topological pass (Kahn).  Returns false (leaving
    [dist] unspecified) if a cycle is detected. *)
 let dag_distances g source dist =
-  let indegree = Array.make g.n 0 in
+  let indegree = g.indegree in
+  Array.fill indegree 0 g.n 0;
   for a = 0 to (2 * g.m) - 1 do
     if g.cap.(a) > 0 then indegree.(g.to_.(a)) <- indegree.(g.to_.(a)) + 1
   done;
-  let order = Array.make g.n 0 in
+  let order = g.order in
   let count = ref 0 in
   let q = Queue.create () in
   for v = 0 to g.n - 1 do
@@ -162,14 +238,13 @@ let dag_distances g source dist =
     let v = Queue.take q in
     order.(!count) <- v;
     incr count;
-    let arc = ref g.head.(v) in
-    while !arc >= 0 do
-      if g.cap.(!arc) > 0 then begin
-        let w = g.to_.(!arc) in
+    for idx = g.adj_start.(v) to g.adj_start.(v + 1) - 1 do
+      let a = g.adj_arc.(idx) in
+      if g.cap.(a) > 0 then begin
+        let w = g.to_.(a) in
         indegree.(w) <- indegree.(w) - 1;
         if indegree.(w) = 0 then Queue.add w q
-      end;
-      arc := g.next.(!arc)
+      end
     done
   done;
   if !count < g.n then false
@@ -179,15 +254,13 @@ let dag_distances g source dist =
     for i = 0 to g.n - 1 do
       let v = order.(i) in
       if dist.(v) < infinity_dist then begin
-        let arc = ref g.head.(v) in
-        while !arc >= 0 do
-          let a = !arc in
+        for idx = g.adj_start.(v) to g.adj_start.(v + 1) - 1 do
+          let a = g.adj_arc.(idx) in
           if g.cap.(a) > 0 then begin
             let w = g.to_.(a) in
             let nd = dist.(v) +. g.cost.(a) in
             if nd < dist.(w) then dist.(w) <- nd
-          end;
-          arc := g.next.(a)
+          end
         done
       end
     done;
@@ -199,19 +272,20 @@ let run ?(acyclic = false) ?breakpoints g ~source ~sink ~target
   if g.solved then invalid_arg "Mcmf.solve: graph already solved";
   g.solved <- true;
   if source = sink then invalid_arg "Mcmf.solve: source = sink";
-  let pot = Array.make g.n 0.0 in
-  let dist = Array.make g.n 0.0 in
-  let pred_arc = Array.make g.n (-1) in
-  let heap = Heap.create () in
+  build_adjacency g;
+  let pot = g.pot and dist = g.dist and pred_arc = g.pred_arc in
+  let heap = g.heap in
   if not (acyclic && dag_distances g source dist) then
     bellman_ford g source dist;
   (* Unreachable nodes keep potential 0; they can never join an augmenting
      path (see comment in the .mli), so their reduced costs are irrelevant. *)
-  Array.iteri (fun v d -> pot.(v) <- (if d < infinity_dist then d else infinity_dist)) dist;
+  for v = 0 to g.n - 1 do
+    pot.(v) <- (if dist.(v) < infinity_dist then dist.(v) else infinity_dist)
+  done;
   let total_flow = ref 0 and total_cost = ref 0.0 in
   let continue = ref true in
   while !continue && !total_flow < target do
-    dijkstra g source pot dist pred_arc heap;
+    dijkstra g source sink pot dist pred_arc heap;
     if dist.(sink) >= infinity_dist then continue := false
     else begin
       let path_cost = path_true_cost g pred_arc sink in
@@ -238,10 +312,15 @@ let run ?(acyclic = false) ?breakpoints g ~source ~sink ~target
         (match breakpoints with
         | Some acc -> acc := (!total_flow, !total_cost) :: !acc
         | None -> ());
-        (* Johnson potential update for reached nodes only. *)
+        (* Johnson potential update for reached nodes, capped at the
+           sink's distance: nodes the early-exit search did not settle
+           have dist ≥ dist(sink), so the cap keeps all reduced costs
+           non-negative while charging unsettled nodes only what the
+           finished path proved. *)
+        let dsink = dist.(sink) in
         for v = 0 to g.n - 1 do
           if dist.(v) < infinity_dist && pot.(v) < infinity_dist then
-            pot.(v) <- pot.(v) +. dist.(v)
+            pot.(v) <- pot.(v) +. min dist.(v) dsink
         done
       end
     end

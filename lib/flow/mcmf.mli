@@ -20,6 +20,14 @@ type arc = private int
 val create : int -> t
 (** [create n] makes an empty graph on nodes [0 .. n-1]. *)
 
+val reset : t -> n:int -> unit
+(** [reset g ~n] empties [g] and re-dimensions it to [n] nodes, keeping
+    every internal arena (arc arrays, adjacency heads, solver scratch,
+    the Dijkstra heap) for reuse.  A reset graph behaves exactly like a
+    fresh [create n] — including being solvable again — without the
+    per-step allocation churn; FlowExpect holds one such graph per
+    policy and resets it every decision. *)
+
 val node_count : t -> int
 val arc_count : t -> int
 

@@ -3,14 +3,14 @@ type arc = int
 let cost_scale = 1048576.0 (* 2^20 *)
 
 type t = {
-  n : int;
+  mutable n : int;
   mutable m : int;
   mutable to_ : int array; (* internal arc id -> head *)
   mutable cap : int array; (* residual capacity *)
   mutable cost : int array; (* scaled integer cost *)
   mutable fcost : float array; (* original float cost (forward arcs) *)
   mutable next : int array;
-  head : int array;
+  mutable head : int array;
   mutable solved : bool;
 }
 
@@ -26,6 +26,14 @@ let create n =
     head = Array.make n (-1);
     solved = false;
   }
+
+let reset g ~n =
+  if n < 1 then invalid_arg "Scaling.reset: n < 1";
+  if n <= Array.length g.head then Array.fill g.head 0 n (-1)
+  else g.head <- Array.make (max n (2 * Array.length g.head)) (-1);
+  g.n <- n;
+  g.m <- 0;
+  g.solved <- false
 
 let ensure g =
   let need = 2 * (g.m + 1) in

@@ -20,6 +20,12 @@ type arc = private int
 val create : int -> t
 (** [create n]: empty graph on nodes [0 .. n-1]. *)
 
+val reset : t -> n:int -> unit
+(** [reset g ~n]: empty the graph and re-dimension to [n] nodes while
+    keeping the internal arc arenas, mirroring {!Mcmf.reset}; a reset
+    graph is indistinguishable from a fresh [create n] and may be solved
+    again. *)
+
 val add_arc : t -> src:int -> dst:int -> cap:int -> cost:float -> arc
 
 type result = { flow : int; cost : float }

@@ -18,34 +18,84 @@ let of_ar1 ~phi0 ~phi1 ~sigma ~lo ~hi =
   in
   { lo; hi; row }
 
-(* Propagate a dense distribution over the window one step. *)
-let step_distribution k dist =
-  let n = k.hi - k.lo + 1 in
-  let next = Array.make n 0.0 in
-  for i = 0 to n - 1 do
-    let p = dist.(i) in
-    if p > 0.0 then begin
-      let x = k.lo + i in
-      Pmf.iter (k.row x) (fun y q ->
-          if y >= k.lo && y <= k.hi then begin
-            let j = y - k.lo in
-            next.(j) <- next.(j) +. (p *. q)
-          end)
-    end
-  done;
-  next
+module Dense = struct
+  type t = {
+    lo : int;
+    n : int;
+    w : int;
+    rows : float array; (* n rows of uniform width w, zero-padded *)
+    slot : int array; (* window index covered by column 0 of each row *)
+  }
+
+  (* Rows are clipped to the window and right-padded with zeros to the
+     widest clipped support, so every row is a contiguous w-wide band
+     anchored at slot.(i) ∈ [0, n − w].  Padding is exact: a padded cell
+     contributes +0.0 to a non-negative accumulator.  Building this once
+     replaces the per-step, per-state [row] pmf reconstruction that
+     dominated the forward and backward DPs (for AR(1) kernels each
+     [row] call discretises a fresh normal). *)
+  let of_kernel k =
+    let n = k.hi - k.lo + 1 in
+    let pmfs = Array.init n (fun i -> k.row (k.lo + i)) in
+    let w = ref 1 in
+    Array.iter
+      (fun pmf ->
+        let ylo = max (Pmf.lo pmf) k.lo and yhi = min (Pmf.hi pmf) k.hi in
+        if yhi >= ylo then w := max !w (yhi - ylo + 1))
+      pmfs;
+    let w = !w in
+    let rows = Array.make (n * w) 0.0 in
+    let slot = Array.make n 0 in
+    Array.iteri
+      (fun i pmf ->
+        let ylo = max (Pmf.lo pmf) k.lo and yhi = min (Pmf.hi pmf) k.hi in
+        if yhi >= ylo then begin
+          let rlo = ylo - k.lo in
+          (* Clamp so the whole band stays inside the window; the row
+             still starts at its true support (rlo − s ≥ 0) and ends
+             within the band (yhi ≤ k.hi ⇒ rhi − s ≤ w − 1). *)
+          let s = min rlo (n - w) in
+          slot.(i) <- s;
+          for j = 0 to yhi - ylo do
+            rows.((i * w) + (rlo - s) + j) <- Pmf.prob pmf (ylo + j)
+          done
+        end)
+      pmfs;
+    { lo = k.lo; n; w; rows; slot }
+
+  (* dst ← distᵀ·K: forward propagation of a (sub-)distribution.  Same
+     source-major accumulation order as iterating each row pmf, so the
+     results match the pre-densified code bit for bit. *)
+  let step t ~src ~dst =
+    Array.fill dst 0 t.n 0.0;
+    for i = 0 to t.n - 1 do
+      let p = Array.unsafe_get src i in
+      if p > 0.0 then begin
+        let base = i * t.w and s = Array.unsafe_get t.slot i in
+        for j = 0 to t.w - 1 do
+          let d = s + j in
+          Array.unsafe_set dst d
+            (Array.unsafe_get dst d +. (p *. Array.unsafe_get t.rows (base + j)))
+        done
+      end
+    done
+end
 
 let first_passage k ~start ~target ~horizon =
   if start < k.lo || start > k.hi then
     invalid_arg "Markov.first_passage: start outside window";
   if horizon < 0 then invalid_arg "Markov.first_passage: negative horizon";
-  let n = k.hi - k.lo + 1 in
+  let dk = Dense.of_kernel k in
+  let n = dk.Dense.n in
   let result = Array.make horizon 0.0 in
-  let dist = Array.make n 0.0 in
-  dist.(start - k.lo) <- 1.0;
-  let dist = ref dist in
+  let dist = ref (Array.make n 0.0) in
+  let next = ref (Array.make n 0.0) in
+  !dist.(start - k.lo) <- 1.0;
   for d = 1 to horizon do
-    dist := step_distribution k !dist;
+    Dense.step dk ~src:!dist ~dst:!next;
+    let tmp = !dist in
+    dist := !next;
+    next := tmp;
     if target >= k.lo && target <= k.hi then begin
       let j = target - k.lo in
       result.(d - 1) <- !dist.(j);
@@ -59,10 +109,14 @@ let marginal k ~start ~horizon =
   if start < k.lo || start > k.hi then
     invalid_arg "Markov.marginal: start outside window";
   if horizon < 1 then invalid_arg "Markov.marginal: horizon < 1";
-  let n = k.hi - k.lo + 1 in
-  let dist = Array.make n 0.0 in
-  dist.(start - k.lo) <- 1.0;
-  let dist = ref dist in
+  let dk = Dense.of_kernel k in
+  let n = dk.Dense.n in
+  let dist = ref (Array.make n 0.0) in
+  let next = ref (Array.make n 0.0) in
+  !dist.(start - k.lo) <- 1.0;
   Array.init horizon (fun _ ->
-      dist := step_distribution k !dist;
+      Dense.step dk ~src:!dist ~dst:!next;
+      let tmp = !dist in
+      dist := !next;
+      next := tmp;
       Array.copy !dist)

@@ -29,6 +29,34 @@ val of_ar1 : phi0:float -> phi1:float -> sigma:float -> lo:int -> hi:int -> kern
 (** AR(1) kernel: [X_{t+1} = phi0 + phi1·X_t + N(0, sigma²)], discretised
     per unit bin. *)
 
+module Dense : sig
+  (** Dense banded form of a kernel: the window's rows clipped, packed
+      into one flat matrix of uniform width and zero-padded.  Built once
+      and reused for every DP step — the [row] closure (which for AR(1)
+      discretises a fresh normal per call) is queried exactly [n] times
+      instead of once per state per step.  This is the layout consumed
+      by the C sweep of {!Ssj_core.Precompute.caching_columns_batch}. *)
+
+  type t = {
+    lo : int;  (** window lower bound, as in the source kernel *)
+    n : int;  (** window size *)
+    w : int;  (** uniform row width (widest clipped support) *)
+    rows : float array;
+        (** [n·w] flat matrix; [rows.(i·w + j)] = Pr{[lo + slot.(i) + j]
+            | current state [lo + i]}, zero where padded *)
+    slot : int array;
+        (** per-row band anchor, always within [\[0, n − w\]] so a band
+            never leaves the window *)
+  }
+
+  val of_kernel : kernel -> t
+
+  val step : t -> src:float array -> dst:float array -> unit
+  (** Forward propagation [dst ← srcᵀ·K] of a (sub-)distribution over
+      the window; [dst] is overwritten and must not alias [src].
+      Bit-identical to folding each state's row pmf in support order. *)
+end
+
 val first_passage :
   kernel -> start:int -> target:int -> horizon:int -> float array
 (** [first_passage k ~start ~target ~horizon] returns [a] with [a.(d-1)] =

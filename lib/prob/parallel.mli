@@ -1,0 +1,19 @@
+(** Fork/join [Array.map] over OCaml 5 domains.
+
+    Built for the experiment runner: the paper's figures average 50
+    independent trace realisations per policy, and each realisation is a
+    self-contained simulation — an embarrassingly parallel map.  Results
+    land in their input slot, so the output is bit-identical to the
+    sequential [Array.map] for any job count. *)
+
+val default_jobs : unit -> int
+(** Worker count from the [SSJ_JOBS] environment variable if set (must
+    be a positive integer), otherwise
+    [Domain.recommended_domain_count ()]. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ?jobs f arr] applies [f] to every element, using up to [jobs]
+    domains (default {!default_jobs}; the calling domain counts as one).
+    [f] must not share mutable state across elements.  If any
+    application raises, the first exception (in claim order) is
+    re-raised after all workers have stopped. *)

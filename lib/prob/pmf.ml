@@ -17,6 +17,41 @@ let create ~lo probs =
   if sum <= 0.0 then invalid_arg "Pmf.create: zero total mass";
   { lo; probs = Array.map (fun w -> w /. sum) probs }
 
+module Dense = struct
+  let sum a =
+    (* Neumaier-compensated: the running error term absorbs whichever of
+       accumulator and addend loses low bits at each step. *)
+    let s = ref 0.0 and c = ref 0.0 in
+    for i = 0 to Array.length a - 1 do
+      let x = Array.unsafe_get a i in
+      let t = !s +. x in
+      if Float.abs !s >= Float.abs x then c := !c +. ((!s -. t) +. x)
+      else c := !c +. ((x -. t) +. !s);
+      s := t
+    done;
+    !s +. !c
+
+  let scale a k =
+    for i = 0 to Array.length a - 1 do
+      Array.unsafe_set a i (Array.unsafe_get a i *. k)
+    done
+
+  let axpy ~dst k src =
+    if Array.length dst <> Array.length src then
+      invalid_arg "Pmf.Dense.axpy: length mismatch";
+    for i = 0 to Array.length dst - 1 do
+      Array.unsafe_set dst i
+        (Array.unsafe_get dst i +. (k *. Array.unsafe_get src i))
+    done
+end
+
+let of_dense ~lo probs =
+  check_weights probs;
+  let sum = Dense.sum probs in
+  if sum <= 0.0 then invalid_arg "Pmf.of_dense: zero total mass";
+  Dense.scale probs (1.0 /. sum);
+  { lo; probs }
+
 let of_assoc pairs =
   match pairs with
   | [] -> invalid_arg "Pmf.of_assoc: empty"
@@ -108,6 +143,8 @@ let fold t ~init ~f =
 
 let iter t f = Array.iteri (fun i p -> f (t.lo + i) p) t.probs
 
+let to_dense t = Array.copy t.probs
+
 let to_alist t =
   fold t ~init:[] ~f:(fun acc v p -> (v, p) :: acc) |> List.rev
 
@@ -131,9 +168,35 @@ let mix weighted =
   of_assoc pairs
 
 let dot a b =
-  (* Iterate over the smaller support. *)
-  let a, b = if Array.length a.probs <= Array.length b.probs then (a, b) else (b, a) in
-  fold a ~init:0.0 ~f:(fun acc v p -> acc +. (p *. prob b v))
+  (* Direct overlap loop; same ascending accumulation order as folding
+     either support (out-of-overlap terms add exactly +0.0). *)
+  let l = max a.lo b.lo and h = min (hi a) (hi b) in
+  let acc = ref 0.0 in
+  for v = l to h do
+    acc :=
+      !acc
+      +. (Array.unsafe_get a.probs (v - a.lo)
+          *. Array.unsafe_get b.probs (v - b.lo))
+  done;
+  !acc
+
+let dot_window t arr ~lo:alo =
+  let l = max t.lo alo and h = min (hi t) (alo + Array.length arr - 1) in
+  let acc = ref 0.0 in
+  for v = l to h do
+    acc :=
+      !acc
+      +. (Array.unsafe_get t.probs (v - t.lo) *. Array.unsafe_get arr (v - alo))
+  done;
+  !acc
+
+let add_into t ~dst ~lo:dlo ~scale =
+  let l = max t.lo dlo and h = min (hi t) (dlo + Array.length dst - 1) in
+  for v = l to h do
+    let i = v - dlo in
+    Array.unsafe_set dst i
+      (Array.unsafe_get dst i +. (scale *. Array.unsafe_get t.probs (v - t.lo)))
+  done
 
 let equal ?(eps = 1e-9) a b =
   let l = min a.lo b.lo and h = max (hi a) (hi b) in

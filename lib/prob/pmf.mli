@@ -20,6 +20,12 @@ val create : lo:int -> float array -> t
 val of_assoc : (int * float) list -> t
 (** Build from (value, weight) pairs; weights for equal values accumulate. *)
 
+val of_dense : lo:int -> float array -> t
+(** Like {!create} but takes ownership of [probs] (no copy) and normalises
+    in place by a Neumaier-compensated total — the constructor used by the
+    convolution kernels, where repeated naive renormalisation would let
+    float mass drift.  The caller must not mutate the array afterwards. *)
+
 val point : int -> t
 (** Point mass at a value. *)
 
@@ -63,6 +69,10 @@ val iter : t -> (int -> float -> unit) -> unit
 val to_alist : t -> (int * float) list
 (** Support as an ascending association list (zero entries included). *)
 
+val to_dense : t -> float array
+(** Fresh copy of the probability vector, index [i] holding
+    [Pr{X = lo t + i}]. *)
+
 val truncate : t -> lo:int -> hi:int -> t option
 (** Restrict to [\[lo, hi\]] and renormalise; [None] if no mass remains. *)
 
@@ -73,6 +83,31 @@ val dot : t -> t -> float
 (** [dot a b] = [Σ_v Pr{A = v}·Pr{B = v}] — the probability that two
     independent draws coincide.  This is the expected benefit of keeping an
     *undetermined* tuple in FlowExpect's flow graph (Section 3.1). *)
+
+val dot_window : t -> float array -> lo:int -> float
+(** [dot_window t arr ~lo] = [Σ_i arr.(i)·Pr{X = lo + i}] over the overlap
+    of the support with the window — a no-allocation [dot] against a dense
+    float vector anchored at [lo]. *)
+
+val add_into : t -> dst:float array -> lo:int -> scale:float -> unit
+(** [add_into t ~dst ~lo ~scale] does [dst.(i) ← dst.(i) + scale·Pr{X = lo+i}]
+    over the overlap — the accumulation kernel of the precomputation DPs,
+    replacing a bounds-checked [prob] per cell. *)
+
+module Dense : sig
+  (** No-allocation kernels on raw probability vectors (dense float
+      arrays); shared by the convolution and precomputation hot paths. *)
+
+  val sum : float array -> float
+  (** Neumaier-compensated (improved Kahan) sum. *)
+
+  val scale : float array -> float -> unit
+  (** In-place multiply by a constant. *)
+
+  val axpy : dst:float array -> float -> float array -> unit
+  (** [axpy ~dst k src]: [dst.(i) ← dst.(i) + k·src.(i)]; lengths must
+      match. *)
+end
 
 val equal : ?eps:float -> t -> t -> bool
 (** Pointwise comparison over the union of supports, tolerance [eps]

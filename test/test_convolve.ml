@@ -65,6 +65,83 @@ let prop_mass_preserved =
     QCheck2.Gen.(tup2 gen_small_pmf gen_small_pmf)
     (fun (a, b) -> Float.abs (Pmf.total (Convolve.pair a b) -. 1.0) < 1e-9)
 
+(* --- FFT / doubling paths vs the naive oracle ------------------------- *)
+
+(* Total-variation distance over the union of supports. *)
+let tv a b =
+  let lo = min (Pmf.lo a) (Pmf.lo b) and hi = max (Pmf.hi a) (Pmf.hi b) in
+  let acc = ref 0.0 in
+  for v = lo to hi do
+    acc := !acc +. Float.abs (Pmf.prob a v -. Pmf.prob b v)
+  done;
+  0.5 *. !acc
+
+(* Supports from a point mass up to widths well past the FFT cutoff
+   ({!Fftconv.should_use} flips around a few dozen cells), with heavily
+   skewed weights (w^6 spans ~5 orders of magnitude) to stress the
+   renormalisation. *)
+let gen_any_width_pmf =
+  QCheck2.Gen.(
+    let skewed = map (fun w -> (w ** 6.0) +. 1e-6) (float_range 0.0 1.0) in
+    let* lo = int_range (-30) 30 in
+    oneof
+      [
+        return (Pmf.point lo);
+        (let* n = int_range 1 8 in
+         let* weights = list_repeat n skewed in
+         return (Pmf.create ~lo (Array.of_list weights)));
+        (let* n = int_range 40 200 in
+         let* weights = list_repeat n skewed in
+         return (Pmf.create ~lo (Array.of_list weights)));
+      ])
+
+let prop_pair_matches_naive_oracle =
+  qcheck ~count:150 "pair (FFT or naive) = naive oracle within 1e-9 TV"
+    QCheck2.Gen.(tup2 gen_any_width_pmf gen_any_width_pmf)
+    (fun (a, b) -> tv (Convolve.pair a b) (Convolve.pair_naive a b) < 1e-9)
+
+let prop_nfold_matches_iterated_oracle =
+  (* Doubling (whose late squarings run wide×wide, i.e. through the FFT)
+     vs a left fold of the naive kernel. *)
+  qcheck ~count:30 "nfold doubling = iterated naive oracle within 1e-9 TV"
+    QCheck2.Gen.(tup2 gen_small_pmf (int_range 1 40))
+    (fun (step, n) ->
+      let iterated = ref step in
+      for _ = 2 to n do
+        iterated := Convolve.pair_naive !iterated step
+      done;
+      tv (Convolve.nfold step n) !iterated < 1e-9)
+
+let test_fft_crossover_exact () =
+  (* Pin widths straddling the cutoff so both paths are exercised even if
+     the cost model moves. *)
+  let wide n = Pmf.create ~lo:(-3) (Array.init n (fun i -> 1.0 +. float i)) in
+  List.iter
+    (fun (na, nb) ->
+      let a = wide na and b = wide nb in
+      check_bool
+        (Printf.sprintf "widths %dx%d" na nb)
+        true
+        (tv (Convolve.pair a b) (Convolve.pair_naive a b) < 1e-9))
+    [ (4, 300); (32, 32); (48, 64); (100, 100); (256, 257) ]
+
+let test_table_deep_levels_normalised () =
+  (* Satellite of the doubling work: deep memo levels must stay unit-mass
+     (compensated renormalisation) and agree with a from-scratch nfold. *)
+  let step = Dist.discretized_normal ~sigma:1.5 ~bound:6 in
+  let table = Convolve.Table.create step in
+  List.iter
+    (fun n ->
+      let p = Convolve.Table.get table n in
+      check_float ~eps:1e-9
+        (Printf.sprintf "mass at level %d" n)
+        1.0 (Pmf.total p);
+      check_bool
+        (Printf.sprintf "level %d = nfold" n)
+        true
+        (tv p (Convolve.nfold step n) < 1e-9))
+    [ 1; 7; 64; 365; 512 ]
+
 let suite =
   [
     Alcotest.test_case "points" `Quick test_pair_point_masses;
@@ -76,4 +153,9 @@ let suite =
     Alcotest.test_case "memo table consistency" `Quick test_table_consistency;
     prop_commutative;
     prop_mass_preserved;
+    prop_pair_matches_naive_oracle;
+    prop_nfold_matches_iterated_oracle;
+    Alcotest.test_case "fft crossover widths" `Quick test_fft_crossover_exact;
+    Alcotest.test_case "deep table levels normalised" `Quick
+      test_table_deep_levels_normalised;
   ]

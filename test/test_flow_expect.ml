@@ -158,6 +158,45 @@ let test_solvers_agree =
       Float.abs (a.Flow_expect.expected_benefit -. b.Flow_expect.expected_benefit)
       < 1e-4)
 
+let test_handle_reuse_identical =
+  (* A solver handle carried across decide calls (reset arenas, cached
+     law arrays) must leave decisions bit-identical to fresh solves, for
+     both backends.  Each trial replays three scenarios through one
+     shared handle to exercise re-dimensioning between calls. *)
+  qcheck ~count:40 "reused handle = fresh solve (both backends)"
+    QCheck2.Gen.(list_size (return 3) gen_scenario)
+    (fun scenarios ->
+      List.for_all
+        (fun solver ->
+          let h = Flow_expect.handle () in
+          List.for_all
+            (fun (dists, cached_value) ->
+              let lookahead = List.length dists in
+              let make_pred pick =
+                Predictor.make ~name:"scenario" ~independent:true ~time:0
+                  ~pmf:(fun ~time:_ ~last:_ delta ->
+                    match List.nth_opt dists (delta - 1) with
+                    | Some pair -> pmf_of_dist (pick pair)
+                    | None -> Pmf.point (-777))
+                  ()
+              in
+              let r = make_pred fst and s = make_pred snd in
+              let cached = [ tup Tuple.R cached_value (-1) ] in
+              let arrivals = [ tup Tuple.R (-50) 0; tup Tuple.S (-60) 0 ] in
+              let warm =
+                Flow_expect.decide ~solver ~handle:h ~r ~s ~lookahead ~now:0
+                  ~cached ~arrivals ~capacity:1 ()
+              in
+              let fresh =
+                Flow_expect.decide ~solver ~r ~s ~lookahead ~now:0 ~cached
+                  ~arrivals ~capacity:1 ()
+              in
+              warm.Flow_expect.expected_benefit
+              = fresh.Flow_expect.expected_benefit
+              && warm.Flow_expect.keep = fresh.Flow_expect.keep)
+            scenarios)
+        [ `Ssp; `Scaling ])
+
 let test_policy_runs_and_validates () =
   let cfg = Ssj_workload.Config.tower () in
   let r, s = Ssj_workload.Config.predictors cfg in
@@ -195,6 +234,7 @@ let suite =
     Alcotest.test_case "lookahead 1 is greedy" `Quick
       test_lookahead_one_is_greedy;
     test_solvers_agree;
+    test_handle_reuse_identical;
     Alcotest.test_case "policy runs and validates" `Quick
       test_policy_runs_and_validates;
     Alcotest.test_case "beats RAND on TOWER" `Slow

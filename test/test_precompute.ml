@@ -150,6 +150,46 @@ let test_caching_columns_multiple_ls_consistent () =
     (fun i h1 -> check_bool "alpha monotone" true (both.(1).(i) >= h1 -. 1e-12))
     both.(0)
 
+let test_batch_bit_identical_to_single () =
+  (* The batched DP (shared dense kernel, C sweep, early per-target
+     stopping) must reproduce single-target runs bit for bit, whatever
+     the batch composition. *)
+  let kernel = Precompute.ar1_kernel ar1_params in
+  let ls = [| Lfun.exp_ ~alpha:3.0; Lfun.exp_ ~alpha:12.0 |] in
+  let targets = [| 2; 7; 4; 11 |] in
+  let batched =
+    Precompute.caching_columns_batch ~kernel ~targets ~ls ~horizon:512 ()
+  in
+  Array.iteri
+    (fun t target ->
+      let single =
+        Precompute.caching_columns ~kernel ~target ~ls ~horizon:512 ()
+      in
+      check_bool
+        (Printf.sprintf "target %d bit-identical" target)
+        true
+        (batched.(t) = single))
+    targets;
+  (* And against a differently-composed batch containing the same target. *)
+  let other =
+    Precompute.caching_columns_batch ~kernel ~targets:[| 7 |] ~ls ~horizon:512
+      ()
+  in
+  check_bool "batch composition irrelevant" true (batched.(1) = other.(0))
+
+let test_surfaces_bit_identical_across_jobs () =
+  (* SSJ_JOBS must never change results: the per-worker chunks only
+     regroup targets into batches, and batches are composition-invariant
+     (previous test), so any job count yields byte-identical surfaces. *)
+  let ls = [| Lfun.exp_ ~alpha:4.0; Lfun.exp_ ~alpha:9.0 |] in
+  let build jobs =
+    Precompute.ar1_caching_surfaces ar1_params ~ls ~vx_lo:0 ~vx_hi:8 ~x0_lo:0
+      ~x0_hi:8 ~nv:3 ~nx:3 ~horizon:256 ~jobs ()
+  in
+  let s1 = build 1 and s4 = build 4 in
+  check_bool "jobs=1 = jobs=4 (structural equality on the float grids)" true
+    (s1 = s4)
+
 let suite =
   [
     Alcotest.test_case "walk joining curve vs direct" `Quick
@@ -172,4 +212,8 @@ let suite =
       test_ar1_surfaces_bulk_matches_single;
     Alcotest.test_case "caching columns batching" `Quick
       test_caching_columns_multiple_ls_consistent;
+    Alcotest.test_case "batch DP bit-identical to single" `Quick
+      test_batch_bit_identical_to_single;
+    Alcotest.test_case "surfaces bit-identical across jobs" `Slow
+      test_surfaces_bit_identical_across_jobs;
   ]
