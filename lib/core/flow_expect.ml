@@ -2,6 +2,14 @@ open Ssj_stream
 open Ssj_model
 open Ssj_flow
 
+module Obs = Ssj_obs.Obs
+
+(* Warm-start effectiveness of the handle's conditional-law cache: a hit
+   reuses the whole per-offset law array from the previous step. *)
+let m_decides = Obs.Counter.create "flow_expect.decides"
+let m_law_warm_hits = Obs.Counter.create "flow_expect.law_warm_hits"
+let m_law_warm_misses = Obs.Counter.create "flow_expect.law_warm_misses"
+
 type plan = { keep : Tuple.t list; expected_benefit : float }
 type solver = [ `Ssp | `Scaling ]
 
@@ -25,8 +33,11 @@ type entity =
 
 let laws ~cached ~store pred l =
   match cached with
-  | Some (p, arr) when p == pred && Array.length arr >= l -> arr
+  | Some (p, arr) when p == pred && Array.length arr >= l ->
+    Obs.Counter.incr m_law_warm_hits;
+    arr
   | _ ->
+    Obs.Counter.incr m_law_warm_misses;
     let arr = Array.init l (fun i -> pred.Predictor.pmf (i + 1)) in
     store (pred, arr);
     arr
@@ -82,6 +93,7 @@ let solve_arcs ~solver ~handle:h ~n_nodes ~base ~add_all ~source ~sink ~target =
 let decide ?(solver = `Ssp) ?handle:h ~r ~s ~lookahead ~now:_ ~cached ~arrivals
     ~capacity () =
   if lookahead < 1 then invalid_arg "Flow_expect.decide: lookahead < 1";
+  Obs.Counter.incr m_decides;
   let candidates = Array.of_list (cached @ arrivals) in
   let base = Array.length candidates in
   let target = min capacity base in

@@ -1,5 +1,42 @@
 open Ssj_stream
 
+module Obs = Ssj_obs.Obs
+
+(* Selection observability.  [policy.score_tie_pairs] counts adjacent
+   equal-score pairs in the best-first order and
+   [policy.boundary_score_ties] counts steps where the last kept and the
+   first dropped candidate tie — the direct diagnostic for a degenerate
+   sweep: when eviction is decided by the uid tie-break instead of the
+   score, every policy makes the same decision and a benchmark over
+   policies measures nothing. *)
+let m_selections = Obs.Counter.create "policy.selections"
+let m_candidates = Obs.Counter.create "policy.candidates"
+let m_evictions = Obs.Counter.create "policy.evictions"
+let m_dead_candidates = Obs.Counter.create "policy.dead_candidates"
+let m_tie_pairs = Obs.Counter.create "policy.score_tie_pairs"
+let m_boundary_ties = Obs.Counter.create "policy.boundary_score_ties"
+
+(* [sorted.(0 .. sorted_n - 1)] is the best-first candidate order ([n]
+   candidates scored, [k] kept; [sorted_n < n] on the heap path, where
+   only the survivors were ordered). *)
+let observe_selection (scores : float array) (sorted : int array) ~n ~k
+    ~sorted_n =
+  Obs.Counter.incr m_selections;
+  Obs.Counter.add m_candidates n;
+  if n > k then Obs.Counter.add m_evictions (n - k);
+  let dead = ref 0 in
+  for i = 0 to n - 1 do
+    if scores.(i) = Float.neg_infinity then incr dead
+  done;
+  Obs.Counter.add m_dead_candidates !dead;
+  let ties = ref 0 in
+  for j = 1 to sorted_n - 1 do
+    if scores.(sorted.(j - 1)) = scores.(sorted.(j)) then incr ties
+  done;
+  Obs.Counter.add m_tie_pairs !ties;
+  if k < sorted_n && scores.(sorted.(k - 1)) = scores.(sorted.(k)) then
+    Obs.Counter.incr m_boundary_ties
+
 (* Engine-owned cache buffer for the array-native fast path: the current
    cache contents, best-first, as parallel int arrays
    [uids.(0 .. n-1)] / [values.(0 .. n-1)].  The uid encodes the rest of
@@ -402,7 +439,11 @@ let select_top sel ~capacity ~score ~tie ~cached ~arrivals =
     if n = 0 then []
     else begin
       let sorted = top_indices sel sel.scores sel.uids n capacity in
-      result_of_prefix sel.items sorted (if n < capacity then n else capacity)
+      let k = if n < capacity then n else capacity in
+      if Obs.on () then
+        observe_selection sel.scores sorted ~n ~k
+          ~sorted_n:(if n <= 2 * capacity then n else capacity);
+      result_of_prefix sel.items sorted k
     end
   end
 
@@ -433,6 +474,9 @@ let select_prescored sel ~capacity ~(src : buffer) ~(dst : buffer)
   begin
     let sorted = top_indices sel scores uids n capacity in
     let k = if n < capacity then n else capacity in
+    if Obs.on () then
+      observe_selection scores sorted ~n ~k
+        ~sorted_n:(if n <= 2 * capacity then n else capacity);
     if Array.length dst.uids < k then begin
       let cap = max 16 (2 * k) in
       dst.uids <- Array.make cap 0;

@@ -1,5 +1,12 @@
 open Ssj_core
 
+module Obs = Ssj_obs.Obs
+
+let m_accesses = Obs.Counter.create "cache_sim.accesses"
+let m_hits = Obs.Counter.create "cache_sim.hits"
+let m_misses = Obs.Counter.create "cache_sim.misses"
+let m_occupancy = Obs.Histogram.create ~buckets:512 "cache_sim.occupancy"
+
 type result = {
   hits : int;
   misses : int;
@@ -53,9 +60,15 @@ let run_internal ~reference ~policy ~capacity ?(warmup = 0) ?(validate = false)
         failwith
           (Printf.sprintf "policy %s at t=%d: %s" policy.Policy.cname now msg)
     end;
+    if Obs.on () then Obs.Histogram.observe m_occupancy (List.length selection);
     cache := selection;
     match decisions with Some d -> d.(now) <- selection | None -> ()
   done;
+  if Obs.on () then begin
+    Obs.Counter.add m_accesses n;
+    Obs.Counter.add m_hits !hits;
+    Obs.Counter.add m_misses !misses
+  end;
   ( {
       hits = !hits;
       misses = !misses;

@@ -1,6 +1,28 @@
 open Ssj_stream
 open Ssj_core
 
+module Obs = Ssj_obs.Obs
+
+(* Per-step engine metrics.  The occupancy histogram is the saturation
+   diagnostic: a policy sweep only discriminates when the cache is full
+   of live tuples, i.e. when the occupancy mass sits at the capacity
+   bucket *and* [policy.dead_candidates] stays low. *)
+let m_steps = Obs.Counter.create "join_sim.steps"
+let m_arrivals = Obs.Counter.create "join_sim.arrivals"
+let m_matches = Obs.Counter.create "join_sim.matches"
+let m_evictions = Obs.Counter.create "join_sim.evictions"
+let m_occupancy = Obs.Histogram.create ~buckets:256 "join_sim.occupancy"
+
+let observe_step ~now ~warmup ~produced ~occupancy ~evicted =
+  Obs.Counter.incr m_steps;
+  Obs.Counter.add m_arrivals 2;
+  Obs.Counter.add m_matches produced;
+  Obs.Counter.add m_evictions evicted;
+  Obs.Histogram.observe m_occupancy occupancy;
+  if now = warmup then
+    Obs.event ~name:"join_sim.warmup_boundary"
+      [ ("t", Obs.I now); ("occupancy", Obs.I occupancy) ]
+
 type result = {
   total_results : int;
   counted_results : int;
@@ -75,6 +97,20 @@ let run_internal ~trace ~policy ~capacity ?(warmup = 0) ?window ?band
            ~prev_values:src_b.Policy.values ~prev_n:src_b.Policy.n
            ~next_uids:dst_b.Policy.uids ~next_values:dst_b.Policy.values
            ~next_n:dst_b.Policy.n);
+      if Obs.on () then begin
+        let en = dst_b.Policy.evicted_n in
+        let evicted =
+          if en >= 0 then en
+          else
+            (* Heap-selection path: the diff was not enumerated, but the
+               cached-tuple eviction count follows from the sizes. *)
+            src_b.Policy.n
+            - (dst_b.Policy.n
+              - (if dst_b.Policy.kept_r then 1 else 0)
+              - (if dst_b.Policy.kept_s then 1 else 0))
+        in
+        observe_step ~now ~warmup ~produced ~occupancy:dst_b.Policy.n ~evicted
+      end;
       src := dst_b;
       dst := src_b
     done
@@ -100,6 +136,19 @@ let run_internal ~trace ~policy ~capacity ?(warmup = 0) ?window ?band
         | Error msg ->
           failwith
             (Printf.sprintf "policy %s at t=%d: %s" policy.Policy.name now msg)
+      end;
+      if Obs.on () then begin
+        let nsel = List.length selection in
+        let kept_arrivals =
+          List.fold_left
+            (fun acc (t : Tuple.t) ->
+              if t.Tuple.uid = r_t.Tuple.uid || t.Tuple.uid = s_t.Tuple.uid
+              then acc + 1
+              else acc)
+            0 selection
+        in
+        let evicted = List.length !cache - (nsel - kept_arrivals) in
+        observe_step ~now ~warmup ~produced ~occupancy:nsel ~evicted
       end;
       Join_index.update index ~prev:!cache ~next:selection;
       cache := selection;

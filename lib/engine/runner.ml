@@ -8,12 +8,16 @@ type summary = {
 }
 
 let summarize ~label per_run =
-  {
-    label;
-    mean = Ssj_prob.Stats.mean per_run;
-    stddev = Ssj_prob.Stats.stddev per_run;
-    per_run;
-  }
+  (* An empty sweep (0 traces) must summarise to zeros, not NaN: the
+     bench JSON schema promises finite policy means at any scale. *)
+  if Array.length per_run = 0 then { label; mean = 0.0; stddev = 0.0; per_run }
+  else
+    {
+      label;
+      mean = Ssj_prob.Stats.mean per_run;
+      stddev = Ssj_prob.Stats.stddev per_run;
+      per_run;
+    }
 
 type joining_setup = {
   capacity : int;
@@ -55,6 +59,25 @@ let compare_joining ~setup ~traces ~policies ?(include_opt = true) ?jobs () =
       policies
   in
   opt @ evaluated
+
+let compare_joining_observed ~setup ~traces ~policies ?jobs () =
+  (* Evaluate the policies one at a time, resetting the metric registry
+     between them, so each snapshot isolates one policy's engine
+     activity (counters are process-global).  Selections are identical
+     to {!compare_joining}'s — only the grouping differs. *)
+  List.map
+    (fun (label, make) ->
+      Ssj_obs.Obs.reset ();
+      let summary =
+        match
+          compare_joining ~setup ~traces ~policies:[ (label, make) ]
+            ~include_opt:false ?jobs ()
+        with
+        | [ s ] -> s
+        | _ -> assert false
+      in
+      (summary, Ssj_obs.Obs.snapshot ()))
+    policies
 
 let compare_caching ~capacity ~warmup ~references ~policies
     ?(include_lfd = true) ?(metric = `Misses) ?jobs () =

@@ -14,6 +14,8 @@ type summary = {
 }
 
 val summarize : label:string -> float array -> summary
+(** Mean and population stddev of [per_run]; an empty array summarises
+    to zeros (never NaN), keeping downstream JSON schemas stable. *)
 
 type joining_setup = {
   capacity : int;
@@ -37,6 +39,20 @@ val compare_joining :
     for any job count).  With [include_opt] (default true) an
     "OPT-OFFLINE" summary computed by {!Ssj_core.Opt_offline} on the same
     traces is prepended. *)
+
+val compare_joining_observed :
+  setup:joining_setup ->
+  traces:Ssj_stream.Trace.t array ->
+  policies:(string * (unit -> Ssj_core.Policy.join)) list ->
+  ?jobs:int ->
+  unit ->
+  (summary * Ssj_obs.Obs.view list) list
+(** Like {!compare_joining} (without the OPT bound) but resets the
+    {!Ssj_obs.Obs} registry before each policy and pairs its summary
+    with the metric snapshot taken after its runs — the per-policy
+    "obs" block of [BENCH_joining.json].  Summaries are identical to
+    {!compare_joining}'s.  Callers that want non-empty snapshots must
+    enable the gate ({!Ssj_obs.Obs.set_enabled} or [SSJ_OBS=1]). *)
 
 val compare_caching :
   capacity:int ->

@@ -1,5 +1,17 @@
 type arc = int
 
+module Obs = Ssj_obs.Obs
+
+(* Observability: solver activity and arena reuse.  [mcmf.graph_reuse]
+   counting every [reset] against [mcmf.graph_create] is the direct
+   measure of how often FlowExpect's handle amortises graph allocation. *)
+let m_graph_create = Obs.Counter.create "mcmf.graph_create"
+let m_graph_reuse = Obs.Counter.create "mcmf.graph_reuse"
+let m_solves = Obs.Counter.create "mcmf.solves"
+let m_dijkstra_calls = Obs.Counter.create "mcmf.dijkstra_calls"
+let m_dijkstra_pops = Obs.Counter.create "mcmf.dijkstra_pops"
+let m_augmentations = Obs.Counter.create "mcmf.augmentations"
+
 type t = {
   mutable n : int;
   mutable m : int; (* number of user arcs; internal arcs = 2 * m *)
@@ -27,6 +39,7 @@ type t = {
 }
 
 let create n =
+  Obs.Counter.incr m_graph_create;
   {
     n;
     m = 0;
@@ -47,6 +60,7 @@ let create n =
 
 let reset g ~n =
   if n < 1 then invalid_arg "Mcmf.reset: n < 1";
+  Obs.Counter.incr m_graph_reuse;
   g.n <- n;
   g.m <- 0;
   g.solved <- false
@@ -178,6 +192,7 @@ let dijkstra g source sink pot dist pred_arc heap =
   Heap.clear heap;
   dist.(source) <- 0.0;
   Heap.push heap 0.0 source;
+  let pops = ref 0 in
   let continue = ref true in
   while !continue do
     if Heap.is_empty heap then continue := false
@@ -185,6 +200,7 @@ let dijkstra g source sink pot dist pred_arc heap =
       let d = Heap.min_prio heap in
       let u = Heap.min_item heap in
       Heap.drop_min heap;
+      incr pops;
       if u = sink then continue := false
       else if d <= Array.unsafe_get dist u +. 1e-12 then begin
         let adj_arc = g.adj_arc and cap = g.cap and to_ = g.to_ in
@@ -210,7 +226,11 @@ let dijkstra g source sink pot dist pred_arc heap =
         done
       end
     end
-  done
+  done;
+  if Obs.on () then begin
+    Obs.Counter.incr m_dijkstra_calls;
+    Obs.Counter.add m_dijkstra_pops !pops
+  end
 
 let path_true_cost g pred_arc sink =
   let rec go v acc =
@@ -272,6 +292,7 @@ let run ?(acyclic = false) ?breakpoints g ~source ~sink ~target
   if g.solved then invalid_arg "Mcmf.solve: graph already solved";
   g.solved <- true;
   if source = sink then invalid_arg "Mcmf.solve: source = sink";
+  Obs.Counter.incr m_solves;
   build_adjacency g;
   let pot = g.pot and dist = g.dist and pred_arc = g.pred_arc in
   let heap = g.heap in
@@ -307,6 +328,7 @@ let run ?(acyclic = false) ?breakpoints g ~source ~sink ~target
           end
         in
         apply sink;
+        Obs.Counter.incr m_augmentations;
         total_flow := !total_flow + push;
         total_cost := !total_cost +. (float_of_int push *. path_cost);
         (match breakpoints with

@@ -1,5 +1,13 @@
 type arc = int
 
+module Obs = Ssj_obs.Obs
+
+let m_graph_create = Obs.Counter.create "scaling.graph_create"
+let m_graph_reuse = Obs.Counter.create "scaling.graph_reuse"
+let m_solves = Obs.Counter.create "scaling.solves"
+let m_pushes = Obs.Counter.create "scaling.pushes"
+let m_relabels = Obs.Counter.create "scaling.relabels"
+
 let cost_scale = 1048576.0 (* 2^20 *)
 
 type t = {
@@ -15,6 +23,7 @@ type t = {
 }
 
 let create n =
+  Obs.Counter.incr m_graph_create;
   {
     n;
     m = 0;
@@ -29,6 +38,7 @@ let create n =
 
 let reset g ~n =
   if n < 1 then invalid_arg "Scaling.reset: n < 1";
+  Obs.Counter.incr m_graph_reuse;
   if n <= Array.length g.head then Array.fill g.head 0 n (-1)
   else g.head <- Array.make (max n (2 * Array.length g.head)) (-1);
   g.n <- n;
@@ -86,6 +96,7 @@ type result = { flow : int; cost : float }
 (* Cost-scaling circulation: refine halves (here /8) epsilon until < 1,
    with all costs pre-multiplied by (n+1) so 1-optimality is optimality. *)
 let run_circulation g =
+  let pushes = ref 0 and relabels = ref 0 in
   let n = g.n in
   let narcs = 2 * g.m in
   let price = Array.make n 0 in
@@ -157,12 +168,14 @@ let run_circulation g =
                  positive excess, but guard against infinite loops. *)
               continue := false
             else begin
+              incr relabels;
               price.(v) <- !best - !eps;
               current.(v) <- g.head.(v)
             end
           end
           else if g.cap.(a) > 0 && reduced a < 0 then begin
             (* push *)
+            incr pushes;
             let w = g.to_.(a) in
             let delta = min excess.(v) g.cap.(a) in
             g.cap.(a) <- g.cap.(a) - delta;
@@ -175,6 +188,10 @@ let run_circulation g =
         done
       done
     done
+  end;
+  if Obs.on () then begin
+    Obs.Counter.add m_pushes !pushes;
+    Obs.Counter.add m_relabels !relabels
   end
 
 let flow_on_internal g a = g.cap.((2 * a) + 1)
@@ -184,6 +201,7 @@ let solve g ~source ~sink ~target =
   if g.solved then invalid_arg "Scaling.solve: graph already solved";
   if source = sink then invalid_arg "Scaling.solve: source = sink";
   if target < 0 then invalid_arg "Scaling.solve: negative target";
+  Obs.Counter.incr m_solves;
   (* Profit on the return arc must dominate any simple path cost. *)
   let big =
     let acc = ref 1 in

@@ -1,0 +1,315 @@
+(* Metrics live in a process-global registry; instrumented modules
+   create them at init time and mutate them through Atomic cells, so the
+   Domain-parallel runner aggregates exactly.  The whole layer hides
+   behind one bool: every mutator starts with [if on () then ...], which
+   compiles to a load and a branch when the gate is off. *)
+
+let enabled =
+  ref
+    (match Sys.getenv_opt "SSJ_OBS" with
+    | None | Some "" | Some "0" | Some "false" -> false
+    | Some _ -> true)
+
+let[@inline] on () = !enabled
+let set_enabled v = enabled := v
+
+type counter = { cname : string; cell : int Atomic.t }
+
+type histogram = {
+  hname : string;
+  width : int;
+  counts : int Atomic.t array; (* last bucket absorbs overflow *)
+  hcount : int Atomic.t;
+  hsum : int Atomic.t;
+  hmin : int Atomic.t;
+  hmax : int Atomic.t;
+}
+
+type span = { sname : string; s_calls : int Atomic.t; s_ns : int Atomic.t }
+
+type metric = M_counter of counter | M_histogram of histogram | M_span of span
+
+let registry : metric list ref = ref []
+let registry_mu = Mutex.create ()
+
+let register m =
+  Mutex.lock registry_mu;
+  registry := m :: !registry;
+  Mutex.unlock registry_mu
+
+(* Atomic min/max via CAS loop; contention is rare (histogram extremes
+   move a handful of times per run). *)
+let rec atomic_min cell v =
+  let cur = Atomic.get cell in
+  if v < cur && not (Atomic.compare_and_set cell cur v) then atomic_min cell v
+
+let rec atomic_max cell v =
+  let cur = Atomic.get cell in
+  if v > cur && not (Atomic.compare_and_set cell cur v) then atomic_max cell v
+
+module Counter = struct
+  type t = counter
+
+  let create name =
+    let c = { cname = name; cell = Atomic.make 0 } in
+    register (M_counter c);
+    c
+
+  let[@inline] incr c = if on () then Atomic.incr c.cell
+  let[@inline] add c n = if on () then ignore (Atomic.fetch_and_add c.cell n)
+  let value c = Atomic.get c.cell
+  let name c = c.cname
+end
+
+module Histogram = struct
+  type t = histogram
+
+  let create ?(width = 1) ?(buckets = 64) name =
+    if width < 1 then invalid_arg "Obs.Histogram.create: width < 1";
+    if buckets < 1 then invalid_arg "Obs.Histogram.create: buckets < 1";
+    let h =
+      {
+        hname = name;
+        width;
+        counts = Array.init buckets (fun _ -> Atomic.make 0);
+        hcount = Atomic.make 0;
+        hsum = Atomic.make 0;
+        hmin = Atomic.make max_int;
+        hmax = Atomic.make min_int;
+      }
+    in
+    register (M_histogram h);
+    h
+
+  let observe h v =
+    if on () then begin
+      let b = if v <= 0 then 0 else v / h.width in
+      let b = if b >= Array.length h.counts then Array.length h.counts - 1 else b in
+      ignore (Atomic.fetch_and_add h.counts.(b) 1);
+      ignore (Atomic.fetch_and_add h.hcount 1);
+      ignore (Atomic.fetch_and_add h.hsum v);
+      atomic_min h.hmin v;
+      atomic_max h.hmax v
+    end
+
+  let count h = Atomic.get h.hcount
+  let sum h = Atomic.get h.hsum
+
+  let mean h =
+    let n = count h in
+    if n = 0 then 0.0 else float_of_int (sum h) /. float_of_int n
+
+  let min_value h = Atomic.get h.hmin
+  let max_value h = Atomic.get h.hmax
+  let name h = h.hname
+end
+
+module Span = struct
+  type t = span
+
+  let create name =
+    let s = { sname = name; s_calls = Atomic.make 0; s_ns = Atomic.make 0 } in
+    register (M_span s);
+    s
+
+  let record_ns s ns =
+    if on () then begin
+      Atomic.incr s.s_calls;
+      ignore (Atomic.fetch_and_add s.s_ns ns)
+    end
+
+  let time s f =
+    if on () then begin
+      let t0 = Unix.gettimeofday () in
+      let finally () =
+        record_ns s (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
+      in
+      Fun.protect ~finally f
+    end
+    else f ()
+
+  let calls s = Atomic.get s.s_calls
+  let total_ns s = Atomic.get s.s_ns
+  let name s = s.sname
+end
+
+(* --- snapshots ------------------------------------------------------ *)
+
+type view =
+  | Counter_v of { name : string; value : int }
+  | Histogram_v of {
+      name : string;
+      count : int;
+      sum : int;
+      min_v : int;
+      max_v : int;
+      width : int;
+      buckets : (int * int) list;
+    }
+  | Span_v of { name : string; calls : int; total_ns : int }
+
+let snapshot () =
+  let metrics =
+    Mutex.lock registry_mu;
+    let ms = !registry in
+    Mutex.unlock registry_mu;
+    List.rev ms
+  in
+  List.map
+    (function
+      | M_counter c -> Counter_v { name = c.cname; value = Atomic.get c.cell }
+      | M_histogram h ->
+        let buckets = ref [] in
+        for b = Array.length h.counts - 1 downto 0 do
+          let n = Atomic.get h.counts.(b) in
+          if n > 0 then buckets := (b * h.width, n) :: !buckets
+        done;
+        Histogram_v
+          {
+            name = h.hname;
+            count = Atomic.get h.hcount;
+            sum = Atomic.get h.hsum;
+            min_v = Atomic.get h.hmin;
+            max_v = Atomic.get h.hmax;
+            width = h.width;
+            buckets = !buckets;
+          }
+      | M_span s ->
+        Span_v
+          {
+            name = s.sname;
+            calls = Atomic.get s.s_calls;
+            total_ns = Atomic.get s.s_ns;
+          })
+    metrics
+
+let reset () =
+  Mutex.lock registry_mu;
+  let ms = !registry in
+  Mutex.unlock registry_mu;
+  List.iter
+    (function
+      | M_counter c -> Atomic.set c.cell 0
+      | M_histogram h ->
+        Array.iter (fun b -> Atomic.set b 0) h.counts;
+        Atomic.set h.hcount 0;
+        Atomic.set h.hsum 0;
+        Atomic.set h.hmin max_int;
+        Atomic.set h.hmax min_int
+      | M_span s ->
+        Atomic.set s.s_calls 0;
+        Atomic.set s.s_ns 0)
+    ms
+
+(* --- JSON ----------------------------------------------------------- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of_snapshot views =
+  let buf = Buffer.create 1024 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i view ->
+      if i > 0 then Buffer.add_string buf ", ";
+      match view with
+      | Counter_v { name; value } ->
+        Buffer.add_string buf (Printf.sprintf "\"%s\": %d" (escape name) value)
+      | Histogram_v { name; count; sum; min_v; max_v; width; buckets } ->
+        Buffer.add_string buf
+          (Printf.sprintf "\"%s\": {\"count\": %d, \"sum\": %d" (escape name)
+             count sum);
+        if count > 0 then
+          Buffer.add_string buf
+            (Printf.sprintf ", \"min\": %d, \"max\": %d" min_v max_v);
+        Buffer.add_string buf (Printf.sprintf ", \"bucket_width\": %d" width);
+        Buffer.add_string buf ", \"buckets\": {";
+        List.iteri
+          (fun j (lo, n) ->
+            if j > 0 then Buffer.add_string buf ", ";
+            Buffer.add_string buf (Printf.sprintf "\"%d\": %d" lo n))
+          buckets;
+        Buffer.add_string buf "}}"
+      | Span_v { name; calls; total_ns } ->
+        Buffer.add_string buf
+          (Printf.sprintf "\"%s\": {\"calls\": %d, \"total_ns\": %d}"
+             (escape name) calls total_ns))
+    views;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* --- JSONL events --------------------------------------------------- *)
+
+type field = I of int | F of float | S of string | B of bool
+type sink = [ `Null | `Path of string | `Channel of out_channel ]
+
+let sink : sink ref =
+  ref
+    (match Sys.getenv_opt "SSJ_OBS_FILE" with
+    | Some p when p <> "" -> `Path p
+    | Some _ | None -> `Null)
+
+let sink_channel : out_channel option ref = ref None
+let sink_mu = Mutex.create ()
+
+let set_event_sink s =
+  Mutex.lock sink_mu;
+  (match !sink_channel with
+  | Some oc -> ( (* close a channel we opened ourselves (`Path sinks) *)
+    match !sink with
+    | `Path _ -> ( try close_out oc with Sys_error _ -> ())
+    | `Null | `Channel _ -> ())
+  | None -> ());
+  sink_channel := None;
+  sink := s;
+  Mutex.unlock sink_mu
+
+(* Call with [sink_mu] held. *)
+let channel_of_sink () =
+  match !sink_channel with
+  | Some oc -> Some oc
+  | None -> (
+    match !sink with
+    | `Null -> None
+    | `Channel oc ->
+      sink_channel := Some oc;
+      Some oc
+    | `Path p ->
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 p in
+      sink_channel := Some oc;
+      Some oc)
+
+let event ~name fields =
+  if on () && !sink <> `Null then begin
+    Mutex.lock sink_mu;
+    (match channel_of_sink () with
+    | None -> ()
+    | Some oc ->
+      let buf = Buffer.create 128 in
+      Buffer.add_string buf (Printf.sprintf "{\"event\": \"%s\"" (escape name));
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_string buf (Printf.sprintf ", \"%s\": " (escape k));
+          Buffer.add_string buf
+            (match v with
+            | I n -> string_of_int n
+            | F x -> Printf.sprintf "%.6g" x
+            | S s -> Printf.sprintf "\"%s\"" (escape s)
+            | B b -> if b then "true" else "false"))
+        fields;
+      Buffer.add_string buf "}\n";
+      Buffer.output_buffer oc buf;
+      flush oc);
+    Mutex.unlock sink_mu
+  end

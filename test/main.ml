@@ -27,6 +27,7 @@ let () =
       ("core.sliding", Test_sliding.suite);
       ("core.band", Test_band.suite);
       ("core.case_studies", Test_case_studies.suite);
+      ("obs", Test_obs.suite);
       ("engine", Test_sim.suite);
       ("engine.indexed", Test_indexed.suite);
       ("multi", Test_multi.suite);

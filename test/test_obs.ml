@@ -1,0 +1,156 @@
+open Ssj_stream
+open Ssj_engine
+open Ssj_workload
+open Helpers
+module Obs = Ssj_obs.Obs
+
+(* The suite flips the process-global gate; every test restores it. *)
+let with_gate enabled f =
+  let saved = Obs.on () in
+  Obs.set_enabled enabled;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled saved) f
+
+let test_counter_basic () =
+  with_gate true (fun () ->
+      let c = Obs.Counter.create "test.counter_basic" in
+      check_int "starts at zero" 0 (Obs.Counter.value c);
+      Obs.Counter.incr c;
+      Obs.Counter.add c 41;
+      check_int "incr + add" 42 (Obs.Counter.value c);
+      check_bool "name" true (String.equal (Obs.Counter.name c) "test.counter_basic"))
+
+let test_counter_disabled_noop () =
+  with_gate false (fun () ->
+      let c = Obs.Counter.create "test.counter_disabled" in
+      Obs.Counter.incr c;
+      Obs.Counter.add c 100;
+      check_int "disabled counter stays zero" 0 (Obs.Counter.value c))
+
+let test_histogram_basic () =
+  with_gate true (fun () ->
+      let h = Obs.Histogram.create ~width:2 ~buckets:4 "test.hist_basic" in
+      List.iter (Obs.Histogram.observe h) [ 0; 1; 3; 100; -5 ];
+      check_int "count" 5 (Obs.Histogram.count h);
+      (* -5 clamps to 0 for bucketing but sum/min are exact. *)
+      check_int "sum" 99 (Obs.Histogram.sum h);
+      check_int "min" (-5) (Obs.Histogram.min_value h);
+      check_int "max" 100 (Obs.Histogram.max_value h);
+      check_float "mean" 19.8 (Obs.Histogram.mean h))
+
+let test_histogram_disabled_noop () =
+  with_gate false (fun () ->
+      let h = Obs.Histogram.create "test.hist_disabled" in
+      Obs.Histogram.observe h 7;
+      check_int "disabled histogram empty" 0 (Obs.Histogram.count h);
+      check_float "empty mean is zero" 0.0 (Obs.Histogram.mean h))
+
+let test_span_accumulates () =
+  with_gate true (fun () ->
+      let s = Obs.Span.create "test.span" in
+      Obs.Span.record_ns s 100;
+      Obs.Span.record_ns s 250;
+      let x = Obs.Span.time s (fun () -> 1 + 1) in
+      check_int "thunk result" 2 x;
+      check_int "calls" 3 (Obs.Span.calls s);
+      check_bool "total >= recorded" true (Obs.Span.total_ns s >= 350));
+  with_gate false (fun () ->
+      let s = Obs.Span.create "test.span_disabled" in
+      check_int "disabled time still runs thunk" 5
+        (Obs.Span.time s (fun () -> 5));
+      check_int "disabled span records nothing" 0 (Obs.Span.calls s))
+
+let test_reset_and_snapshot () =
+  with_gate true (fun () ->
+      let c = Obs.Counter.create "test.reset_counter" in
+      let h = Obs.Histogram.create "test.reset_hist" in
+      Obs.Counter.add c 7;
+      Obs.Histogram.observe h 3;
+      let find name =
+        List.find_opt
+          (function
+            | Obs.Counter_v { name = n; _ }
+            | Obs.Histogram_v { name = n; _ }
+            | Obs.Span_v { name = n; _ } ->
+              String.equal n name)
+          (Obs.snapshot ())
+      in
+      (match find "test.reset_counter" with
+      | Some (Obs.Counter_v { value; _ }) -> check_int "snapshot value" 7 value
+      | _ -> Alcotest.fail "counter missing from snapshot");
+      Obs.reset ();
+      check_int "counter reset" 0 (Obs.Counter.value c);
+      check_int "histogram reset" 0 (Obs.Histogram.count h);
+      (match find "test.reset_counter" with
+      | Some (Obs.Counter_v { value; _ }) -> check_int "post-reset view" 0 value
+      | _ -> Alcotest.fail "counter missing after reset");
+      (* Snapshots keep zero-valued metrics: shape is run-stable. *)
+      check_bool "json has the key" true
+        (let json = Obs.json_of_snapshot (Obs.snapshot ()) in
+         let sub = "\"test.reset_counter\"" in
+         let n = String.length json and m = String.length sub in
+         let rec scan i = i + m <= n && (String.sub json i m = sub || scan (i + 1)) in
+         scan 0))
+
+let test_summarize_empty () =
+  let s = Runner.summarize ~label:"empty" [||] in
+  check_bool "mean finite" true (Float.is_finite s.Runner.mean);
+  check_float "mean zero" 0.0 s.Runner.mean;
+  check_float "stddev zero" 0.0 s.Runner.stddev
+
+let tower = Config.tower ()
+
+let tower_traces ~runs ~length =
+  Array.init runs (fun i ->
+      let r, s = Config.predictors tower in
+      Trace.generate ~r ~s ~rng:(rng (42 + (1009 * i))) ~length)
+
+let sweep_means ~traces ~capacity =
+  let setup =
+    { Runner.capacity; warmup = Runner.default_warmup ~capacity; window = None }
+  in
+  Runner.compare_joining ~setup ~traces
+    ~policies:(Factory.trend_policies tower ~seed:42 ())
+    ~include_opt:false ()
+  |> List.map (fun s -> (s.Runner.label, s.Runner.mean))
+
+let test_obs_does_not_change_results () =
+  (* The instrumentation must be observation-only: the same sweep with
+     the gate on and off produces bit-identical means. *)
+  let traces = tower_traces ~runs:4 ~length:600 in
+  let off = with_gate false (fun () -> sweep_means ~traces ~capacity:25) in
+  let on = with_gate true (fun () -> sweep_means ~traces ~capacity:25) in
+  List.iter2
+    (fun (label, m_off) (label', m_on) ->
+      check_bool "same policy order" true (String.equal label label');
+      check_float (label ^ " mean unchanged") m_off m_on)
+    off on
+
+let test_heeb_beats_rand_when_saturated () =
+  (* The regression the degenerate capacity-50 sweep could never catch:
+     on a saturating configuration (capacity 25 < live population) HEEB's
+     expected-benefit eviction must strictly beat random eviction on
+     paired runs.  Means over 20 paired traces; the gap is ~20 results
+     (HEEB 1600.0 vs RAND 1578.5 at this seed), far beyond noise. *)
+  let traces = tower_traces ~runs:20 ~length:2000 in
+  let means = sweep_means ~traces ~capacity:25 in
+  let mean label = List.assoc label means in
+  check_bool
+    (Printf.sprintf "HEEB (%.1f) > RAND (%.1f)" (mean "HEEB") (mean "RAND"))
+    true
+    (mean "HEEB" > mean "RAND")
+
+let suite =
+  [
+    Alcotest.test_case "counter basic" `Quick test_counter_basic;
+    Alcotest.test_case "counter disabled no-op" `Quick test_counter_disabled_noop;
+    Alcotest.test_case "histogram basic" `Quick test_histogram_basic;
+    Alcotest.test_case "histogram disabled no-op" `Quick
+      test_histogram_disabled_noop;
+    Alcotest.test_case "span accumulates" `Quick test_span_accumulates;
+    Alcotest.test_case "reset + snapshot" `Quick test_reset_and_snapshot;
+    Alcotest.test_case "summarize of empty runs" `Quick test_summarize_empty;
+    Alcotest.test_case "SSJ_OBS=1 does not change results" `Quick
+      test_obs_does_not_change_results;
+    Alcotest.test_case "HEEB beats RAND when saturated" `Slow
+      test_heeb_beats_rand_when_saturated;
+  ]
