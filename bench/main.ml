@@ -18,8 +18,11 @@
 
    Scale can be tuned through SSJ_BENCH_RUNS / SSJ_BENCH_LEN to reach the
    paper's 50 x 5000 (defaults keep the full pass at a few minutes);
-   SSJ_BENCH_FIGURES=0 skips the figure pass, SSJ_JOBS sets the runner's
-   domain count. *)
+   SSJ_BENCH_FIGURES=0 skips the figure pass, SSJ_BENCH_KERNELS=0 the
+   bechamel kernel pass (the artifact then carries an empty kernels_ns),
+   SSJ_JOBS sets the runner's domain count.  SSJ_CHECKPOINT /
+   SSJ_RETRIES / SSJ_STEP_BUDGET reach the supervision demo of the
+   robustness pass. *)
 
 open Bechamel
 open Toolkit
@@ -381,6 +384,184 @@ let run_obs_pass sweep traces =
         observed;
   }
 
+(* --- robustness: fault grid + supervision demo ---------------------- *)
+
+module Fault = Ssj_fault.Fault
+
+type robustness_artifact = {
+  report : Experiments.robustness_report;
+  demo : Runner.supervised;
+  demo_runs : int;
+  fault_counters : string; (* obs snapshot JSON of a forced-on fault pass *)
+}
+
+(* The grid's clean row re-runs the tracked sweep through the fault
+   plumbing at severity zero; anything but bit-identical means/stddevs
+   means the plumbing perturbs clean runs and the artifact would be
+   comparing apples to oranges. *)
+let fail_unless_clean_matches sweep report =
+  List.iter2
+    (fun (timed : Runner.summary) (clean : Runner.summary) ->
+      if
+        timed.Runner.label <> clean.Runner.label
+        || timed.Runner.mean <> clean.Runner.mean
+        || timed.Runner.stddev <> clean.Runner.stddev
+      then begin
+        Format.eprintf
+          "ERROR: robustness clean row diverged from the tracked sweep: %s \
+           %.4f/%.4f vs %s %.4f/%.4f@."
+          clean.Runner.label clean.Runner.mean clean.Runner.stddev
+          timed.Runner.label timed.Runner.mean timed.Runner.stddev;
+        exit 1
+      end)
+    sweep.summaries report.Experiments.clean
+
+let fail_unless_regime_finite report =
+  List.iter
+    (fun (row : Experiments.robustness_row) ->
+      List.iter
+        (fun (c : Experiments.robustness_cell) ->
+          if not (Float.is_finite c.Experiments.degradation) then begin
+            Format.eprintf
+              "ERROR: non-finite degradation for %s under %S@."
+              c.Experiments.policy row.Experiments.fault;
+            exit 1
+          end)
+        row.Experiments.cells)
+    (report.Experiments.rows @ report.Experiments.regime)
+
+let run_robustness_pass sweep traces =
+  let t0 = Unix.gettimeofday () in
+  let report = Experiments.robustness_grid ~capacity:sweep.sweep_capacity opts in
+  fail_unless_clean_matches sweep report;
+  fail_unless_regime_finite report;
+  Experiments.print_robustness_grid report;
+  (* Forced-on obs pass: count injected faults on a few traces, then run
+     the supervised sweep with one deliberately-crashing run so the
+     failure manifest, retry and checkpoint counters are exercised in
+     every artifact. *)
+  let env_enabled = Obs.on () in
+  Obs.set_enabled true;
+  Obs.reset ();
+  let spec =
+    {
+      Fault.kinds =
+        [
+          Fault.Drop { rate = 0.05 };
+          Fault.Duplicate { rate = 0.05 };
+          Fault.Burst { rate = 0.01; len = 15 };
+          Fault.Stall { rate = 0.01; len = 25 };
+          Fault.Noise { rate = 0.2; amp = 4 };
+        ];
+      seed = 42;
+    }
+  in
+  Array.iteri (fun i t -> if i < 5 then ignore (Fault.apply spec t)) traces;
+  let supervision =
+    { (Runner.supervision_from_env ()) with Runner.retries = 1 }
+  in
+  let setup = sweep_setup ~capacity:sweep.sweep_capacity in
+  let heeb = Factory.trend_heeb tower in
+  (* Crash run 3, or the last run when the sweep is smaller — the demo
+     must always have one failure to salvage around, at any scale. *)
+  let crash_run = min 3 (Array.length traces - 1) in
+  let demo =
+    Runner.run_supervised ~label:"HEEB" ~supervision ~ckpt_context:"demo"
+      ~jobs:sweep.jobs
+      (fun run trace ->
+        if run = crash_run then
+          failwith
+            (Printf.sprintf "injected demo crash: run %d always fails"
+               crash_run);
+        let result =
+          Join_sim.run ~trace ~policy:(heeb ()) ~capacity:setup.Runner.capacity
+            ~warmup:setup.Runner.warmup ()
+        in
+        float_of_int result.Join_sim.counted_results)
+      traces
+  in
+  let fault_counters = Obs.json_of_snapshot (Obs.snapshot ()) in
+  Obs.set_enabled env_enabled;
+  (match supervision.Runner.checkpoint with
+  | Some ckpt -> Checkpoint.close ckpt
+  | None -> ());
+  let sal = demo.Runner.salvaged and nfail = List.length demo.Runner.failures in
+  if nfail = 0 || Float.is_nan demo.Runner.summary.Runner.mean then begin
+    Format.eprintf
+      "ERROR: supervision demo expected 1 recorded failure and a finite \
+       salvaged mean (got %d failures, mean %f)@."
+      nfail demo.Runner.summary.Runner.mean;
+    exit 1
+  end;
+  Format.printf
+    "  robustness: %d fault rows + %d regime rows in %.3f s; demo salvaged \
+     %d/%d runs, %d failure(s), %d checkpoint hit(s)@."
+    (List.length report.Experiments.rows)
+    (List.length report.Experiments.regime)
+    (Unix.gettimeofday () -. t0)
+    sal (sal + nfail) nfail demo.Runner.checkpoint_hits;
+  { report; demo; demo_runs = Array.length traces; fault_counters }
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let out_robustness_block oc rb =
+  let out fmt = Printf.fprintf oc fmt in
+  let report = rb.report in
+  out "    \"capacity\": %d,\n    \"runs\": %d,\n    \"length\": %d,\n"
+    report.Experiments.grid_capacity report.Experiments.grid_runs
+    report.Experiments.grid_length;
+  out "    \"clean_matches_sweep\": true,\n";
+  let out_rows name rows =
+    out "    %S: [\n" name;
+    List.iteri
+      (fun i (row : Experiments.robustness_row) ->
+        out "      {\"fault\": %s, \"policies\": [" (json_string row.fault);
+        List.iteri
+          (fun j (c : Experiments.robustness_cell) ->
+            out "%s{\"name\": %S, \"mean\": %.4f, \"degradation\": %.4f}"
+              (if j = 0 then "" else ", ")
+              c.Experiments.policy c.Experiments.mean c.Experiments.degradation)
+          row.Experiments.cells;
+        out "]}%s\n" (if i = List.length rows - 1 then "" else ","))
+      rows;
+    out "    ],\n"
+  in
+  out_rows "grid" report.Experiments.rows;
+  out_rows "regime" report.Experiments.regime;
+  out "    \"supervision_demo\": {\n";
+  out "      \"runs\": %d,\n      \"salvaged\": %d,\n" rb.demo_runs
+    rb.demo.Runner.salvaged;
+  out "      \"checkpoint_hits\": %d,\n" rb.demo.Runner.checkpoint_hits;
+  out "      \"mean\": %.4f,\n" rb.demo.Runner.summary.Runner.mean;
+  out "      \"mean_is_finite\": %b,\n"
+    (Float.is_finite rb.demo.Runner.summary.Runner.mean);
+  out "      \"failures\": [\n";
+  List.iteri
+    (fun i (f : Runner.failure) ->
+      out
+        "        {\"policy\": %s, \"run\": %d, \"attempts\": %d, \"error\": \
+         %s}%s\n"
+        (json_string f.Runner.policy) f.Runner.run f.Runner.attempts
+        (json_string f.Runner.error)
+        (if i = List.length rb.demo.Runner.failures - 1 then "" else ","))
+    rb.demo.Runner.failures;
+  out "      ]\n    },\n";
+  out "    \"fault_counters\": %s\n" rb.fault_counters
+
 let out_sweep_block oc ~indent sweep ~baseline_wall =
   let out fmt = Printf.fprintf oc fmt in
   let pad = String.make indent ' ' in
@@ -408,10 +589,10 @@ let out_sweep_block oc ~indent sweep ~baseline_wall =
     sweep.summaries;
   out "%s]" pad
 
-let write_json path sweep legacy obs kernels =
+let write_json path sweep legacy obs robustness kernels =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
-  out "{\n  \"schema_version\": 2,\n";
+  out "{\n  \"schema_version\": 3,\n";
   out "  \"benchmark\": \"fig8-style joining sweep (TOWER, seed 42)\",\n";
   out "  \"sweep\": {\n";
   out_sweep_block oc ~indent:4 sweep ~baseline_wall:None;
@@ -446,6 +627,9 @@ let write_json path sweep legacy obs kernels =
         (if i = List.length obs.per_policy - 1 then "" else ","))
     obs.per_policy;
   out "    }\n  },\n";
+  out "  \"robustness\": {\n";
+  out_robustness_block oc robustness;
+  out "  },\n";
   out "  \"kernels_ns\": {\n";
   List.iteri
     (fun i (name, ns) ->
@@ -496,9 +680,16 @@ let () =
     run_sweep ~label:"legacy sweep" ~capacity:legacy_capacity ~reps:5 traces
   in
   let obs = run_obs_pass sweep traces in
+  let robustness = run_robustness_pass sweep traces in
   (match Sys.getenv_opt "SSJ_BENCH_FIGURES" with
   | Some "0" -> Format.printf "(figure pass skipped: SSJ_BENCH_FIGURES=0)@."
   | _ -> Experiments.all opts);
-  let kernels = run_micro () in
-  write_json "BENCH_joining.json" sweep legacy obs kernels;
+  let kernels =
+    match Sys.getenv_opt "SSJ_BENCH_KERNELS" with
+    | Some "0" ->
+      Format.printf "(kernel pass skipped: SSJ_BENCH_KERNELS=0)@.";
+      []
+    | _ -> run_micro ()
+  in
+  write_json "BENCH_joining.json" sweep legacy obs robustness kernels;
   Format.printf "@.done.@."

@@ -114,7 +114,14 @@ let dump_trace_cmd =
 
 let run_trace_cmd =
   let run filename capacity =
-    let trace = Ssj_stream.Trace_io.load ~filename in
+    let trace =
+      match Ssj_stream.Trace_io.load_result ~filename with
+      | Ok trace -> trace
+      | Error e ->
+        Format.eprintf "sjoin: cannot load %s: %s@." filename
+          (Ssj_stream.Trace_io.error_to_string e);
+        exit 2
+    in
     let open Ssj_core in
     let open Ssj_engine in
     let policies =

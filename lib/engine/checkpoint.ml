@@ -1,0 +1,138 @@
+(* Records are one JSON object per line; only the "key" and "hex" fields
+   are read back (the decimal "value" is for humans and jq).  Parsing is
+   a small substring scan rather than a JSON dependency: keys are
+   runner-generated (labels, integers, '|' separators — sanitised of
+   quotes and newlines on write), hex floats are [%h] output. *)
+
+type t = {
+  path : string;
+  table : (string, float) Hashtbl.t;
+  mutable oc : out_channel option;
+  mutable loaded : int;
+  mutable corrupt : int;
+  mu : Mutex.t;
+}
+
+let sanitize_key key =
+  String.map (fun c -> if c = '"' || c = '\n' || c = '\r' then '_' else c) key
+
+(* Extract the string value of ["field": "..."] from [line], if any. *)
+let string_field line field =
+  let marker = Printf.sprintf "\"%s\": \"" field in
+  let mlen = String.length marker in
+  let llen = String.length line in
+  let rec find i =
+    if i + mlen > llen then None
+    else if String.sub line i mlen = marker then Some (i + mlen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start -> (
+    match String.index_from_opt line start '"' with
+    | None -> None (* torn line: opened the value, never closed it *)
+    | Some stop -> Some (String.sub line start (stop - start)))
+
+let parse_line line =
+  match (string_field line "key", string_field line "hex") with
+  | Some key, Some hex -> (
+    match float_of_string_opt hex with
+    | Some v -> Some (key, v)
+    | None -> None)
+  | _ -> None
+
+let load_existing t =
+  match open_in t.path with
+  | exception Sys_error _ -> ()
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        try
+          while true do
+            let line = input_line ic in
+            if String.trim line <> "" then begin
+              match parse_line line with
+              | Some (key, v) ->
+                Hashtbl.replace t.table key v;
+                t.loaded <- t.loaded + 1
+              | None -> t.corrupt <- t.corrupt + 1
+            end
+          done
+        with End_of_file -> ())
+
+let create ~path =
+  let t =
+    {
+      path;
+      table = Hashtbl.create 256;
+      oc = None;
+      loaded = 0;
+      corrupt = 0;
+      mu = Mutex.create ();
+    }
+  in
+  load_existing t;
+  t
+
+let from_env () =
+  match Sys.getenv_opt "SSJ_CHECKPOINT" with
+  | Some path when path <> "" -> Some (create ~path)
+  | Some _ | None -> None
+
+let path t = t.path
+let loaded t = t.loaded
+let corrupt_lines t = t.corrupt
+
+let find t ~key =
+  Mutex.lock t.mu;
+  let v = Hashtbl.find_opt t.table (sanitize_key key) in
+  Mutex.unlock t.mu;
+  v
+
+(* A killed writer can leave the file without a final newline (a torn
+   record); appending straight after it would weld the next record onto
+   the torn one and corrupt both. *)
+let ends_mid_line path =
+  match open_in_bin path with
+  | exception Sys_error _ -> false
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let n = in_channel_length ic in
+        n > 0
+        &&
+        (seek_in ic (n - 1);
+         input_char ic <> '\n'))
+
+let channel t =
+  match t.oc with
+  | Some oc -> oc
+  | None ->
+    let heal = ends_mid_line t.path in
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 t.path in
+    if heal then output_char oc '\n';
+    t.oc <- Some oc;
+    oc
+
+let record t ~key v =
+  let key = sanitize_key key in
+  Mutex.lock t.mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mu)
+    (fun () ->
+      Hashtbl.replace t.table key v;
+      let oc = channel t in
+      Printf.fprintf oc "{\"key\": \"%s\", \"hex\": \"%h\", \"value\": %.4f}\n"
+        key v v;
+      flush oc)
+
+let close t =
+  Mutex.lock t.mu;
+  (match t.oc with
+  | Some oc ->
+    (try close_out oc with Sys_error _ -> ());
+    t.oc <- None
+  | None -> ());
+  Mutex.unlock t.mu

@@ -1,0 +1,48 @@
+(** JSONL checkpoint store for long sweeps.
+
+    Every completed run of a supervised sweep appends one line
+
+    {v {"key": "<context>|<policy>|<run>", "hex": "0x1.fcc7ae1p+11", "value": 4066.22} v}
+
+    to the checkpoint file; a restarted sweep loads the file first and
+    skips every (config, policy, seed) triple already present,
+    substituting the recorded value.  Values round-trip through the
+    [%h] hexadecimal float notation, so a resumed sweep's summaries are
+    bit-identical to an uninterrupted run's.
+
+    The file is opened in append mode and each record is flushed, so a
+    killed sweep loses at most the line being written; a truncated
+    trailing line is skipped on load (and the corrupt-line count
+    reported).  [record] is serialised by a mutex — worker domains of
+    the parallel runner log their runs directly.
+
+    The runner reads the path from the [SSJ_CHECKPOINT] environment
+    variable ({!from_env}); tests construct stores explicitly. *)
+
+type t
+
+val create : path:string -> t
+(** Load existing records from [path] (if any) and open it for
+    appending.  Corrupt lines are skipped, never fatal. *)
+
+val from_env : unit -> t option
+(** [Some (create ~path)] when [SSJ_CHECKPOINT] is set and non-empty. *)
+
+val path : t -> string
+
+val find : t -> key:string -> float option
+(** Exact-key lookup among the records loaded at {!create} time plus
+    anything recorded through this handle since. *)
+
+val record : t -> key:string -> float -> unit
+(** Append one record and flush.  Thread-safe; last write wins on
+    duplicate keys. *)
+
+val loaded : t -> int
+(** Number of records read back at {!create} time. *)
+
+val corrupt_lines : t -> int
+(** Lines skipped at load (e.g. the torn tail of a killed run). *)
+
+val close : t -> unit
+(** Flush and close the append channel (idempotent). *)

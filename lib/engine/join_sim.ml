@@ -12,6 +12,28 @@ let m_arrivals = Obs.Counter.create "join_sim.arrivals"
 let m_matches = Obs.Counter.create "join_sim.matches"
 let m_evictions = Obs.Counter.create "join_sim.evictions"
 let m_occupancy = Obs.Histogram.create ~buckets:256 "join_sim.occupancy"
+let m_budget_aborts = Obs.Counter.create "join_sim.budget_aborts"
+
+exception Step_budget_exceeded of { policy : string; steps : int }
+
+let () =
+  Printexc.register_printer (function
+    | Step_budget_exceeded { policy; steps } ->
+      Some
+        (Printf.sprintf
+           "Join_sim.Step_budget_exceeded(policy=%s, steps=%d)" policy steps)
+    | _ -> None)
+
+(* Soft per-run timeout: a run whose trace asks for more steps than the
+   supervisor budgeted is aborted here rather than allowed to burn a
+   whole sweep's wall-clock.  Checked at the top of every step on both
+   join paths. *)
+let[@inline] check_budget ~policy ~budget ~now =
+  match budget with
+  | Some b when now >= b ->
+    Obs.Counter.incr m_budget_aborts;
+    raise (Step_budget_exceeded { policy; steps = now })
+  | Some _ | None -> ()
 
 let observe_step ~now ~warmup ~produced ~occupancy ~evicted =
   Obs.Counter.incr m_steps;
@@ -54,7 +76,7 @@ let r_share cache =
     float_of_int r /. float_of_int (List.length cache)
 
 let run_internal ~trace ~policy ~capacity ?(warmup = 0) ?window ?band
-    ?record_share ?(validate = false) ~log () =
+    ?record_share ?(validate = false) ?step_budget ~log () =
   let tlen = Trace.length trace in
   let decisions =
     match log with true -> Some (Array.make tlen []) | false -> None
@@ -68,6 +90,7 @@ let run_internal ~trace ~policy ~capacity ?(warmup = 0) ?window ?band
        ping-ponged each step, so the hot loop allocates nothing. *)
     let src = ref (Policy.buffer ()) and dst = ref (Policy.buffer ()) in
     for now = 0 to tlen - 1 do
+      check_budget ~policy:policy.Policy.name ~budget:step_budget ~now;
       let r_t, s_t = Trace.arrivals trace now in
       let produced =
         Join_index.matches index ~now r_t + Join_index.matches index ~now s_t
@@ -117,6 +140,7 @@ let run_internal ~trace ~policy ~capacity ?(warmup = 0) ?window ?band
   | Some _ | None ->
     let cache = ref [] in
     for now = 0 to tlen - 1 do
+      check_budget ~policy:policy.Policy.name ~budget:step_budget ~now;
       let r_t, s_t = Trace.arrivals trace now in
       let produced =
         Join_index.matches index ~now r_t + Join_index.matches index ~now s_t
@@ -166,10 +190,10 @@ let run_internal ~trace ~policy ~capacity ?(warmup = 0) ?window ?band
     decisions )
 
 let run ~trace ~policy ~capacity ?warmup ?window ?band ?record_share ?validate
-    () =
+    ?step_budget () =
   fst
     (run_internal ~trace ~policy ~capacity ?warmup ?window ?band ?record_share
-       ?validate ~log:false ())
+       ?validate ?step_budget ~log:false ())
 
 let run_logged ~trace ~policy ~capacity ?window () =
   match

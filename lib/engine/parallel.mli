@@ -16,4 +16,15 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
     domains (default {!default_jobs}; the calling domain counts as one).
     [f] must not share mutable state across elements.  If any
     application raises, the first exception (in claim order) is
-    re-raised after all workers have stopped. *)
+    re-raised after all spawned domains have been joined (raising jobs
+    neither hang the caller nor leak workers). *)
+
+val try_map :
+  ?jobs:int ->
+  ('a -> 'b) ->
+  'a array ->
+  ('b, exn * Printexc.raw_backtrace) result array
+(** Supervised {!map}: exceptions from [f] land in their own slot as
+    [Error] instead of aborting the sweep; slot order matches the input
+    for any job count.  {!Runner}'s fault-tolerant entry points build
+    their retry / failure-manifest machinery on top of this. *)

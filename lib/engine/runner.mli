@@ -76,3 +76,80 @@ val share_trace :
   (int * float) list
 (** Fraction of the cache occupied by R tuples over time (Figures 14,
     17, 18). *)
+
+(** {2 Supervised execution}
+
+    A sweep of hundreds of runs should not lose everything to one bad
+    run.  {!run_supervised} evaluates each run under a supervisor that
+    catches exceptions, retries with the same inputs a bounded number
+    of times, records the survivor in a structured failure manifest,
+    and summarises over the runs that completed.  With a
+    {!Checkpoint.t} attached, completed runs are persisted and a
+    restarted sweep resumes bit-identically, skipping them. *)
+
+type failure = {
+  policy : string;  (** sweep label the run belonged to *)
+  run : int;  (** index into the input array *)
+  attempts : int;  (** attempts made, including retries *)
+  error : string;  (** rendered exception *)
+  backtrace : string;
+}
+
+type supervision = {
+  retries : int;  (** extra same-input attempts after a failure *)
+  step_budget : int option;
+      (** per-run soft timeout, enforced by
+          {!compare_joining_supervised} via
+          {!Join_sim.Step_budget_exceeded} *)
+  checkpoint : Checkpoint.t option;
+}
+
+val default_supervision : supervision
+(** One retry, no step budget, no checkpoint. *)
+
+val supervision_from_env : unit -> supervision
+(** Reads [SSJ_RETRIES] (default 1), [SSJ_STEP_BUDGET] (default
+    unlimited) and [SSJ_CHECKPOINT] (see {!Checkpoint.from_env}). *)
+
+type supervised = {
+  summary : summary;  (** over completed runs only; zeros when none *)
+  failures : failure list;  (** in run order; empty on a clean sweep *)
+  salvaged : int;  (** completed runs — [salvaged + length failures] is
+                       the input size *)
+  checkpoint_hits : int;  (** runs answered from the checkpoint *)
+}
+
+val run_supervised :
+  label:string ->
+  ?supervision:supervision ->
+  ?ckpt_context:string ->
+  ?jobs:int ->
+  (int -> 'a -> float) ->
+  'a array ->
+  supervised
+(** Evaluate [f run_index item] for every item over {!Parallel.try_map}.
+    A raising run is retried up to [supervision.retries] times with the
+    same index and item; if every attempt fails, a {!failure} is
+    recorded and the sweep continues.  [per_run] keeps the completed
+    runs in input order, so results are independent of the job count.
+    Checkpoint keys are ["<ckpt_context>|<label>|<run_index>"]
+    ([ckpt_context] defaults to [""]); a key already present skips the
+    run entirely and substitutes the recorded value bit-identically.
+    Note [supervision.step_budget] is not enforced here — [f] is opaque;
+    use {!compare_joining_supervised} or thread it into [f] yourself. *)
+
+val compare_joining_supervised :
+  setup:joining_setup ->
+  traces:Ssj_stream.Trace.t array ->
+  policies:(string * (unit -> Ssj_core.Policy.join)) list ->
+  ?supervision:supervision ->
+  ?ckpt_context:string ->
+  ?jobs:int ->
+  unit ->
+  supervised list
+(** {!compare_joining} (without the OPT bound) under supervision: each
+    policy's runs are retried / salvaged / checkpointed independently,
+    and [supervision.step_budget] is threaded into {!Join_sim.run}.
+    With no failures and no step budget, every [summary] is identical
+    to {!compare_joining}'s.  [ckpt_context] defaults to
+    ["cap<capacity>"]. *)

@@ -16,4 +16,19 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
     domains (default {!default_jobs}; the calling domain counts as one).
     [f] must not share mutable state across elements.  If any
     application raises, the first exception (in claim order) is
-    re-raised after all workers have stopped. *)
+    re-raised — but only after every spawned domain has been joined, so
+    a raising job never hangs the caller or leaks a worker.  A failure
+    while spawning the pool itself likewise stops and joins the workers
+    already running before re-raising. *)
+
+val try_map :
+  ?jobs:int ->
+  ('a -> 'b) ->
+  'a array ->
+  ('b, exn * Printexc.raw_backtrace) result array
+(** Supervised variant of {!map}: every element is attempted, an
+    exception from [f] is captured into its own slot as [Error] instead
+    of stopping the sweep, and slot order matches the input for any job
+    count.  The primitive under the fault-tolerant experiment runner
+    ({!Ssj_engine.Runner} wraps it with retries and a failure
+    manifest). *)

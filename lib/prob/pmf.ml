@@ -3,13 +3,38 @@ type t = {
   probs : float array; (* probs.(i) = Pr{X = lo + i}; normalised *)
 }
 
+type error = Empty_support | Non_finite | Zero_mass | Negative
+
+let error_to_string = function
+  | Empty_support -> "empty support"
+  | Non_finite -> "non-finite weight"
+  | Zero_mass -> "zero total mass"
+  | Negative -> "negative weight"
+
+(* First defect in scan order; [Zero_mass] is detected later, once a
+   total exists. *)
+let classify_weights probs =
+  if Array.length probs = 0 then Some Empty_support
+  else begin
+    let bad = ref None in
+    Array.iter
+      (fun w ->
+        if !bad = None then
+          if not (Float.is_finite w) then bad := Some Non_finite
+          else if w < 0.0 then bad := Some Negative)
+      probs;
+    !bad
+  end
+
+(* The raising constructors keep their historical messages (asserted by
+   the test suite): weight defects report as [Pmf.create] regardless of
+   entry point, zero mass names the constructor. *)
 let check_weights probs =
-  if Array.length probs = 0 then invalid_arg "Pmf.create: empty support";
-  Array.iter
-    (fun w ->
-      if not (Float.is_finite w) || w < 0.0 then
-        invalid_arg "Pmf.create: weights must be finite and non-negative")
-    probs
+  match classify_weights probs with
+  | Some Empty_support -> invalid_arg "Pmf.create: empty support"
+  | Some (Non_finite | Negative) ->
+    invalid_arg "Pmf.create: weights must be finite and non-negative"
+  | Some Zero_mass | None -> ()
 
 let create ~lo probs =
   check_weights probs;
@@ -51,6 +76,18 @@ let of_dense ~lo probs =
   if sum <= 0.0 then invalid_arg "Pmf.of_dense: zero total mass";
   Dense.scale probs (1.0 /. sum);
   { lo; probs }
+
+let validate ~lo probs =
+  match classify_weights probs with
+  | Some e -> Error e
+  | None ->
+    let probs = Array.copy probs in
+    let sum = Dense.sum probs in
+    if sum <= 0.0 then Error Zero_mass
+    else begin
+      Dense.scale probs (1.0 /. sum);
+      Ok { lo; probs }
+    end
 
 let of_assoc pairs =
   match pairs with

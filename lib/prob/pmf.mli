@@ -12,6 +12,20 @@
 
 type t
 
+type error = Empty_support | Non_finite | Zero_mass | Negative
+(** Why a weight vector cannot be a pmf — the typed counterpart of the
+    [Invalid_argument] strings the raising constructors throw, letting
+    callers (trace/model loaders, validation layers) report corrupt
+    input structurally instead of crashing. *)
+
+val error_to_string : error -> string
+
+val validate : lo:int -> float array -> (t, error) result
+(** Non-raising constructor: like {!create} but returns the first defect
+    found ([Empty_support], then [Non_finite]/[Negative] in scan order,
+    then [Zero_mass]).  Copies the array; normalisation uses the same
+    Neumaier-compensated total as {!of_dense}. *)
+
 val create : lo:int -> float array -> t
 (** [create ~lo probs] builds the pmf with [Pr{X = lo + i} = probs.(i)]
     (after normalisation).  Raises [Invalid_argument] if [probs] is empty,

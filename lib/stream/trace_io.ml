@@ -15,19 +15,41 @@ let save trace ~filename =
     ~finally:(fun () -> close_out oc)
     (fun () -> to_channel trace oc)
 
+type error =
+  | Bad_header of { found : string }
+  | Bad_field of { line : int }
+  | Wrong_arity of { line : int; fields : int }
+  | Out_of_order of { line : int; time : int; expected : int }
+  | Io_error of { message : string }
+
+let error_to_string = function
+  | Bad_header { found } ->
+    Printf.sprintf "Trace_io: expected header %S, found %S" header found
+  | Bad_field { line } ->
+    Printf.sprintf "Trace_io: non-integer field on line %d" line
+  | Wrong_arity { line; fields } ->
+    Printf.sprintf "Trace_io: expected 3 fields on line %d, found %d" line
+      fields
+  | Out_of_order { line; time; expected } ->
+    Printf.sprintf "Trace_io: time %d out of order on line %d (expected %d)"
+      time line expected
+  | Io_error { message } -> Printf.sprintf "Trace_io: %s" message
+
+exception Malformed of error
+
 let parse_line ~lineno line =
   match String.split_on_char ',' (String.trim line) with
   | [ t; r; s ] -> (
-    try (int_of_string t, int_of_string r, int_of_string s)
-    with Failure _ ->
-      failwith (Printf.sprintf "Trace_io: non-integer field on line %d" lineno))
-  | _ -> failwith (Printf.sprintf "Trace_io: expected 3 fields on line %d" lineno)
+    match (int_of_string_opt t, int_of_string_opt r, int_of_string_opt s) with
+    | Some t, Some r, Some s -> (t, r, s)
+    | _ -> raise (Malformed (Bad_field { line = lineno })))
+  | fields ->
+    raise (Malformed (Wrong_arity { line = lineno; fields = List.length fields }))
 
-let of_channel ic =
+let of_channel_exn ic =
   let first = try input_line ic with End_of_file -> "" in
   if String.trim first <> header then
-    failwith
-      (Printf.sprintf "Trace_io: expected header %S, found %S" header first);
+    raise (Malformed (Bad_header { found = first }));
   let rs = ref [] and ss = ref [] in
   let count = ref 0 in
   let lineno = ref 1 in
@@ -38,9 +60,9 @@ let of_channel ic =
        if String.trim line <> "" then begin
          let t, r, s = parse_line ~lineno:!lineno line in
          if t <> !count then
-           failwith
-             (Printf.sprintf "Trace_io: time %d out of order on line %d" t
-                !lineno);
+           raise
+             (Malformed
+                (Out_of_order { line = !lineno; time = t; expected = !count }));
          incr count;
          rs := r :: !rs;
          ss := s :: !ss
@@ -51,6 +73,27 @@ let of_channel ic =
     ~r:(Array.of_list (List.rev !rs))
     ~s:(Array.of_list (List.rev !ss))
 
+let of_channel_result ic =
+  match of_channel_exn ic with
+  | trace -> Ok trace
+  | exception Malformed e -> Error e
+
+let load_result ~filename =
+  match open_in filename with
+  | exception Sys_error message -> Error (Io_error { message })
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> of_channel_result ic)
+
+(* Raising wrappers, kept for callers that treat a corrupt trace as
+   fatal; the messages are [error_to_string] verbatim. *)
+let of_channel ic =
+  match of_channel_result ic with
+  | Ok trace -> trace
+  | Error e -> failwith (error_to_string e)
+
 let load ~filename =
-  let ic = open_in filename in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> of_channel ic)
+  match load_result ~filename with
+  | Ok trace -> trace
+  | Error e -> failwith (error_to_string e)

@@ -838,6 +838,134 @@ let adversarial ?(out = std) opts =
     @ ratio_row "WALK" walk_tr
         (Factory.walk_policies walk ~seed:opts.seed ~capacity))
 
+(* --- fault x policy degradation grid --------------------------------- *)
+
+module Fault = Ssj_fault.Fault
+
+type robustness_cell = { policy : string; mean : float; degradation : float }
+type robustness_row = { fault : string; cells : robustness_cell list }
+
+type robustness_report = {
+  grid_capacity : int;
+  grid_runs : int;
+  grid_length : int;
+  clean : Runner.summary list;
+  rows : robustness_row list;
+  regime : robustness_row list;
+}
+
+(* Three severities per perturbation kind.  Rates are per arrival; the
+   trace model is one R + one S per step, so e.g. drop 0.05 loses ~250
+   of each stream's 5000 tuples at paper scale. *)
+let grid_kinds () =
+  [
+    Fault.Drop { rate = 0.01 };
+    Fault.Drop { rate = 0.05 };
+    Fault.Drop { rate = 0.2 };
+    Fault.Duplicate { rate = 0.01 };
+    Fault.Duplicate { rate = 0.05 };
+    Fault.Duplicate { rate = 0.2 };
+    Fault.Burst { rate = 0.002; len = 15 };
+    Fault.Burst { rate = 0.01; len = 15 };
+    Fault.Burst { rate = 0.05; len = 15 };
+    Fault.Stall { rate = 0.002; len = 25 };
+    Fault.Stall { rate = 0.01; len = 25 };
+    Fault.Stall { rate = 0.05; len = 25 };
+    Fault.Noise { rate = 0.05; amp = 4 };
+    Fault.Noise { rate = 0.2; amp = 4 };
+    Fault.Noise { rate = 0.5; amp = 4 };
+  ]
+
+let robustness_grid ?capacity opts =
+  let truth = Config.tower () in
+  let capacity = match capacity with Some c -> c | None -> opts.capacity in
+  let runs = opts.runs and length = opts.length in
+  (* Same trace seeds as the tracked bench sweep, so at its capacity the
+     [clean] row is bit-identical to the sweep summaries — the gate that
+     proves fault plumbing at severity zero changes nothing. *)
+  let traces = trend_traces truth ~runs ~length ~seed:opts.seed in
+  let policies = Factory.trend_policies truth ~seed:opts.seed () in
+  let summarize_traces traces' =
+    Runner.compare_joining ~setup:(setup ~capacity) ~traces:traces' ~policies
+      ~include_opt:false ()
+  in
+  let clean = summarize_traces traces in
+  let clean_mean label =
+    match List.find_opt (fun s -> s.Runner.label = label) clean with
+    | Some s -> s.Runner.mean
+    | None -> 0.0
+  in
+  let cells summaries =
+    List.map
+      (fun s ->
+        let base = clean_mean s.Runner.label in
+        {
+          policy = s.Runner.label;
+          mean = s.Runner.mean;
+          degradation = (if base > 0.0 then s.Runner.mean /. base else 0.0);
+        })
+      summaries
+  in
+  let rows =
+    List.map
+      (fun kind ->
+        let spec = { Fault.kinds = [ kind ]; seed = opts.seed } in
+        let dirty = Array.map (Fault.apply spec) traces in
+        { fault = Fault.describe kind; cells = cells (summarize_traces dirty) })
+      (grid_kinds ())
+  in
+  (* Mid-run regime switch: the generating model changes at length/2;
+     every policy keeps the (now stale) TOWER model it was built with. *)
+  let regime_row label after =
+    let switched =
+      Array.init runs (fun i ->
+          let r, s = Config.predictors truth in
+          let r_after, s_after = Config.predictors after in
+          Fault.generate_switched ~r ~s ~r_after ~s_after ~at:(length / 2)
+            ~rng:(Rng.create (opts.seed + (1009 * i)))
+            ~length)
+    in
+    { fault = label; cells = cells (summarize_traces switched) }
+  in
+  let regime =
+    [
+      regime_row "switch@mid: sigma_S x2" (Config.tower ~s_sigma_mult:2.0 ());
+      regime_row "switch@mid: lag 3 + sigma_S x3"
+        (Config.tower ~r_lag:3 ~s_sigma_mult:3.0 ());
+      regime_row "switch@mid: FLOOR" (Config.floor ());
+    ]
+  in
+  {
+    grid_capacity = capacity;
+    grid_runs = runs;
+    grid_length = length;
+    clean;
+    rows;
+    regime;
+  }
+
+let print_robustness_grid ?(out = std) report =
+  Format.fprintf out
+    "@.[robustness/faults] fault x policy degradation grid (data = TOWER), \
+     cache=%d, %d runs x %d tuples; cells: mean (fraction of clean).@."
+    report.grid_capacity report.grid_runs report.grid_length;
+  let policy_names = List.map (fun s -> s.Runner.label) report.clean in
+  let clean_row =
+    "clean"
+    :: List.map
+         (fun s -> Printf.sprintf "%.1f (1.00)" s.Runner.mean)
+         report.clean
+  in
+  let fault_row row =
+    row.fault
+    :: List.map
+         (fun c -> Printf.sprintf "%.1f (%.2f)" c.mean c.degradation)
+         row.cells
+  in
+  Table.print ~out
+    ~header:("fault" :: policy_names)
+    (clean_row :: List.map fault_row (report.rows @ report.regime))
+
 let robustness ?(out = std) opts =
   (* How gracefully does HEEB degrade when its model is wrong?  The data
      comes from TOWER; the policy believes variants of it. *)
@@ -891,7 +1019,11 @@ let robustness ?(out = std) opts =
            Table.float_cell s.Runner.mean;
            Table.float_cell s.Runner.stddev;
          ])
-       summaries)
+       summaries);
+  (* Dirty-stream counterpart at the same reduced scale: the model stays
+     right but the stream itself misbehaves. *)
+  print_robustness_grid ~out
+    (robustness_grid { opts with runs; length; capacity })
 
 let ablation_lfun ?(out = std) opts =
   let cfg = Config.tower () in

@@ -102,8 +102,45 @@ val adversarial : ?out:Format.formatter -> opts -> unit
 
 val robustness : ?out:Format.formatter -> opts -> unit
 (** Extension: HEEB under model misspecification (wrong noise scale,
-    wrong lag, stale no-drift beliefs) on TOWER data — the "coping with
-    changes in input characteristics" direction of Section 8. *)
+    wrong lag, stale no-drift beliefs) on TOWER data, followed by the
+    {!robustness_grid} degradation table — the "coping with changes in
+    input characteristics" direction of Section 8. *)
+
+type robustness_cell = {
+  policy : string;
+  mean : float;
+  degradation : float;
+      (** mean / clean mean of the same policy; 0 when the clean mean is
+          not positive *)
+}
+
+type robustness_row = {
+  fault : string;  (** {!Ssj_fault.Fault.describe} or a regime label *)
+  cells : robustness_cell list;
+}
+
+type robustness_report = {
+  grid_capacity : int;
+  grid_runs : int;
+  grid_length : int;
+  clean : Ssj_engine.Runner.summary list;
+      (** unperturbed row: same traces, policies and warm-up as the
+          tracked bench sweep, so at the sweep capacity it is
+          bit-identical to the sweep summaries *)
+  rows : robustness_row list;  (** fault kinds × 3 severities *)
+  regime : robustness_row list;
+      (** mid-run regime switches (policies keep the stale model) *)
+}
+
+val robustness_grid : ?capacity:int -> opts -> robustness_report
+(** Fault × policy degradation grid on TOWER data: RAND / PROB / LIFE /
+    HEEB under drop, duplicate, burst, stall and value noise at three
+    severities each, plus three generator-level regime switches at
+    [length/2].  [capacity] defaults to [opts.capacity]; the bench runs
+    it at the tracked sweep's capacity and gates the [clean] row against
+    the sweep bit-for-bit. *)
+
+val print_robustness_grid : ?out:Format.formatter -> robustness_report -> unit
 
 val ablation_lfun : ?out:Format.formatter -> opts -> unit
 (** Extension: HEEB's sensitivity to the choice of [L] (α scaling,

@@ -30,6 +30,8 @@ let () =
       ("obs", Test_obs.suite);
       ("engine", Test_sim.suite);
       ("engine.indexed", Test_indexed.suite);
+      ("engine.fault", Test_fault.suite);
+      ("engine.supervised", Test_supervised.suite);
       ("multi", Test_multi.suite);
       ("workload", Test_workload.suite);
     ]

@@ -123,11 +123,46 @@ let prop_double_negate =
   qcheck "negate twice is identity" gen_pmf (fun p ->
       Pmf.equal p (Pmf.negate (Pmf.negate p)))
 
+let test_validate () =
+  (match Pmf.validate ~lo:0 [| 1.0; 3.0 |] with
+  | Ok p ->
+    check_float "validated p(1)" 0.75 (Pmf.prob p 1);
+    check_float "validated total" 1.0 (Pmf.total p)
+  | Error e -> Alcotest.fail (Pmf.error_to_string e));
+  let expect name probs expected =
+    match Pmf.validate ~lo:0 probs with
+    | Ok _ -> Alcotest.fail (name ^ ": expected a typed error")
+    | Error e -> check_bool name true (e = expected)
+  in
+  expect "empty" [||] Pmf.Empty_support;
+  expect "zero mass" [| 0.0; 0.0 |] Pmf.Zero_mass;
+  expect "negative" [| 1.0; -0.5 |] Pmf.Negative;
+  expect "nan" [| 1.0; Float.nan |] Pmf.Non_finite;
+  expect "infinite" [| Float.infinity |] Pmf.Non_finite
+
+let prop_validate_agrees_with_create =
+  (* The result API accepts exactly what create accepts and produces the
+     same distribution. *)
+  qcheck ~count:200 "validate = Ok iff create succeeds, same pmf"
+    QCheck2.Gen.(
+      pair (int_range (-5) 5)
+        (array_size (int_range 0 6)
+           (oneofl [ 0.0; 0.5; 1.0; 2.0; -1.0; Float.nan ])))
+    (fun (lo, probs) ->
+      match Pmf.validate ~lo probs with
+      | Ok p -> Pmf.equal p (Pmf.create ~lo probs)
+      | Error _ -> (
+        match Pmf.create ~lo probs with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+
 let suite =
   [
     Alcotest.test_case "create normalises" `Quick test_create_normalises;
     Alcotest.test_case "create rejects bad weights" `Quick
       test_create_rejects_bad_weights;
+    Alcotest.test_case "validate returns typed errors" `Quick test_validate;
+    prop_validate_agrees_with_create;
     Alcotest.test_case "of_assoc accumulates" `Quick test_of_assoc_accumulates;
     Alcotest.test_case "point mass" `Quick test_point;
     Alcotest.test_case "mean/variance" `Quick test_mean_variance;

@@ -64,11 +64,57 @@ let prop_roundtrip =
       back.Trace.r_values = t.Trace.r_values
       && back.Trace.s_values = t.Trace.s_values)
 
+let load_error content =
+  let file = temp_file () in
+  let oc = open_out file in
+  output_string oc content;
+  close_out oc;
+  let result = Trace_io.load_result ~filename:file in
+  Sys.remove file;
+  match result with
+  | Ok _ -> Alcotest.fail "expected a structured error"
+  | Error e -> e
+
+let test_structured_errors () =
+  (match load_error "nope\n0,1,2\n" with
+  | Trace_io.Bad_header { found } -> Alcotest.(check string) "found" "nope" found
+  | e -> Alcotest.fail ("wrong error: " ^ Trace_io.error_to_string e));
+  (match load_error (Trace_io.header ^ "\n0,1,2\n2,3,4\n") with
+  | Trace_io.Out_of_order { line; time; expected } ->
+    check_int "line" 3 line;
+    check_int "time" 2 time;
+    check_int "expected" 1 expected
+  | e -> Alcotest.fail ("wrong error: " ^ Trace_io.error_to_string e));
+  (match load_error (Trace_io.header ^ "\n0,one,2\n") with
+  | Trace_io.Bad_field { line } -> check_int "line" 2 line
+  | e -> Alcotest.fail ("wrong error: " ^ Trace_io.error_to_string e));
+  (match load_error (Trace_io.header ^ "\n0,1\n") with
+  | Trace_io.Wrong_arity { line; fields } ->
+    check_int "line" 2 line;
+    check_int "fields" 2 fields
+  | e -> Alcotest.fail ("wrong error: " ^ Trace_io.error_to_string e));
+  match Trace_io.load_result ~filename:"/nonexistent/ssj/trace.csv" with
+  | Error (Trace_io.Io_error _) -> ()
+  | Error e -> Alcotest.fail ("wrong error: " ^ Trace_io.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected Io_error"
+
+let test_result_ok_matches_load () =
+  let t = Trace.of_values ~r:[| 1; 2 |] ~s:[| 3; 4 |] in
+  let file = temp_file () in
+  Trace_io.save t ~filename:file;
+  (match Trace_io.load_result ~filename:file with
+  | Ok back ->
+    Alcotest.(check (array int)) "r" t.Trace.r_values back.Trace.r_values
+  | Error e -> Alcotest.fail (Trace_io.error_to_string e));
+  Sys.remove file
+
 let suite =
   [
     Alcotest.test_case "roundtrip" `Quick test_roundtrip_explicit;
     Alcotest.test_case "bad header" `Quick test_rejects_bad_header;
     Alcotest.test_case "out of order" `Quick test_rejects_out_of_order;
     Alcotest.test_case "garbage fields" `Quick test_rejects_garbage_fields;
+    Alcotest.test_case "structured errors" `Quick test_structured_errors;
+    Alcotest.test_case "load_result ok path" `Quick test_result_ok_matches_load;
     prop_roundtrip;
   ]
