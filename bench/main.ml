@@ -340,6 +340,39 @@ let fail_if_degenerate sweep =
     exit 1
   | _ -> ()
 
+(* At canonical scale the fig8 sweep is pinned bit-for-bit by the
+   conformance golden digests; fail before rewriting the artifact if any
+   number moved, and point at the registry that attributes the drift. *)
+let fail_if_drifted sweep =
+  if canonical sweep then
+    List.iter
+      (fun s ->
+        List.iter
+          (fun (field, v) ->
+            let key =
+              Printf.sprintf "fig8/cap%d/%s/%s" sweep.sweep_capacity
+                s.Runner.label field
+            in
+            match
+              List.find_opt
+                (fun d -> d.Ssj_conform.Golden.key = key)
+                Ssj_conform.Golden.expected_fig8
+            with
+            | None -> ()
+            | Some d ->
+              let hex = Printf.sprintf "%h" v in
+              if hex <> d.Ssj_conform.Golden.hex then begin
+                Format.eprintf
+                  "ERROR: canonical sweep drifted from golden digest %s: \
+                   expected %s, got %s.@.Run `sjoin check --all` to \
+                   attribute the drift, `sjoin check --print-golden` to \
+                   re-pin it deliberately.@."
+                  key d.Ssj_conform.Golden.hex hex;
+                exit 1
+              end)
+          [ ("mean", s.Runner.mean); ("stddev", s.Runner.stddev) ])
+      sweep.summaries
+
 let obs_events_file = "OBS_events.jsonl"
 
 (* Re-run the tracked sweep with the obs gate forced on: one rep, policy
@@ -676,6 +709,7 @@ let () =
       traces
   in
   fail_if_degenerate sweep;
+  fail_if_drifted sweep;
   let legacy =
     run_sweep ~label:"legacy sweep" ~capacity:legacy_capacity ~reps:5 traces
   in

@@ -150,10 +150,149 @@ let run_trace_cmd =
        ~doc:"Replay an archived trace under RAND/PROB and the offline optimum.")
     Term.(const run $ file $ capacity)
 
+(* --- conformance ------------------------------------------------------ *)
+
+let check_cmd =
+  let open Ssj_conform in
+  let run all only list_only replay_file print_golden seed count shrink_evals
+      shrink_seconds repro_dir skip_golden artifact inject =
+    (match inject with
+    | None -> ()
+    | Some "band-skew" ->
+      (* Deliberate off-by-one in the indexed band probe: the registry
+         must catch it and shrink it (the CI injected-bug gate). *)
+      Ssj_engine.Join_index.Testhook.set_band_probe_skew 1
+    | Some other ->
+      Format.eprintf "sjoin check: unknown --inject %S (try band-skew)@."
+        other;
+      exit 2);
+    if list_only then begin
+      List.iter
+        (fun (c : Check.t) ->
+          Format.printf "%-6s %s@."
+            (Check.kind_to_string c.Check.kind)
+            c.Check.name)
+        (Conform.all_checks ());
+      exit 0
+    end;
+    if print_golden then begin
+      Format.printf "let expected_fig8 =@.  [@.";
+      Golden.print_digests Format.std_formatter
+        (Golden.fig8_digests ~runs:Golden.canonical_runs
+           ~length:Golden.canonical_length ());
+      Format.printf "  ]@.@.let expected_fig13 =@.  [@.";
+      Golden.print_digests Format.std_formatter (Golden.fig13_digests ());
+      Format.printf "  ]@.";
+      exit 0
+    end;
+    match replay_file with
+    | Some filename -> (
+      match Conform.replay ~filename () with
+      | Ok `Fixed -> exit 0
+      | Ok `Still_fails -> exit 1
+      | Error msg ->
+        Format.eprintf "sjoin check: %s@." msg;
+        exit 2)
+    | None ->
+      if (not all) && only = None then begin
+        Format.eprintf
+          "sjoin check: nothing to do (pass --all, --only SUBSTRING, \
+           --list, --replay FILE or --print-golden)@.";
+        exit 2
+      end;
+      let artifact =
+        match artifact with
+        | Some _ -> artifact
+        | None ->
+          if Sys.file_exists "BENCH_joining.json" then
+            Some "BENCH_joining.json"
+          else None
+      in
+      let checks =
+        Conform.all_checks ?artifact ~golden:(not skip_golden) ()
+      in
+      let budget =
+        { Shrink.max_evals = shrink_evals; max_seconds = shrink_seconds }
+      in
+      let reports =
+        Conform.run_checks ?filter:only ~seed ~count ~budget ?repro_dir
+          checks
+      in
+      exit (if Conform.ok reports then 0 else 1)
+  in
+  let all =
+    Arg.(value & flag & info [ "all" ] ~doc:"Run every registered check.")
+  in
+  let only =
+    Arg.(value & opt (some string) None
+         & info [ "only" ] ~docv:"SUBSTRING"
+             ~doc:"Run only checks whose name contains $(docv).")
+  in
+  let list_only =
+    Arg.(value & flag & info [ "list" ] ~doc:"List registered checks and exit.")
+  in
+  let replay_file =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"FILE"
+             ~doc:"Replay a repro JSON against its recorded check.")
+  in
+  let print_golden =
+    Arg.(value & flag
+         & info [ "print-golden" ]
+             ~doc:"Recompute and print the golden digest tables, then exit.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Base case-generation seed.")
+  in
+  let count =
+    Arg.(value & opt int 100
+         & info [ "count" ] ~doc:"Generated cases per randomized check.")
+  in
+  let shrink_evals =
+    Arg.(value & opt int Shrink.default_budget.Shrink.max_evals
+         & info [ "shrink-evals" ] ~doc:"Shrinker evaluation budget.")
+  in
+  let shrink_seconds =
+    Arg.(value & opt float Shrink.default_budget.Shrink.max_seconds
+         & info [ "shrink-seconds" ] ~doc:"Shrinker wall-clock budget.")
+  in
+  let repro_dir =
+    Arg.(value & opt (some string) None
+         & info [ "repro-dir" ] ~docv:"DIR"
+             ~doc:"Write minimized repro JSON files into $(docv).")
+  in
+  let skip_golden =
+    Arg.(value & flag
+         & info [ "skip-golden" ]
+             ~doc:"Skip the (expensive) golden figure digests.")
+  in
+  let artifact =
+    Arg.(value & opt (some string) None
+         & info [ "artifact" ] ~docv:"PATH"
+             ~doc:"Tracked BENCH_joining.json for the fig8 rounding \
+                   cross-check (default: ./BENCH_joining.json if present).")
+  in
+  let inject =
+    Arg.(value & opt (some string) None
+         & info [ "inject" ] ~docv:"FAULT"
+             ~doc:"Test-only: enable a deliberate engine bug (band-skew) \
+                   before running, to exercise the detect-and-shrink path.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Conformance suite (ssj-check): differential oracles, metamorphic \
+          laws and golden figure digests, with counterexample shrinking.")
+    Term.(
+      const run $ all $ only $ list_only $ replay_file $ print_golden $ seed
+      $ count $ shrink_evals $ shrink_seconds $ repro_dir $ skip_golden
+      $ artifact $ inject)
+
 let cmds =
   [
     dump_trace_cmd;
     run_trace_cmd;
+    check_cmd;
     unit_cmd "example-3-4" "Section 3.4 FlowExpect-suboptimality scenario."
       (fun () -> Experiments.example_3_4 ());
     unit_cmd "example-7" "Section 7 sliding-window example (x1/x2/x3)."

@@ -1,0 +1,64 @@
+(** Replayable conformance cases.
+
+    A case packs everything a differential check needs to re-run one
+    simulator comparison deterministically: both value scripts, the
+    cache size, the join semantics (band width, optional sliding
+    window), and the policy as a (name, seed) recipe — policies are
+    stateful, so {!policy} builds a fresh instance each call.  The
+    shrinker ({!Ssj_conform.Shrink}) transforms cases; {!save} /
+    {!load} move them through the repro JSON files that `sjoin check`
+    writes and replays. *)
+
+type t = {
+  r_values : int array;
+  s_values : int array;  (** same length; index = time step *)
+  capacity : int;
+  band : int;  (** 0 = equijoin *)
+  window : int option;  (** sliding-window width, [None] = unbounded *)
+  policy : string;  (** one of {!policy_names} *)
+  seed : int;  (** RAND's RNG seed; inert for the deterministic policies *)
+}
+
+val length : t -> int
+val trace : t -> Ssj_stream.Trace.t
+val window : t -> Ssj_stream.Window.t option
+
+val warmup : t -> int
+(** The paper's 4·capacity warm-up, capped at half the trace so shrunk
+    cases keep a non-trivial counted tally. *)
+
+val policy_names : string list
+(** ["RAND"; "PROB"; "LIFE"; "HEEB"] — the registry {!policy} accepts.
+    LIFE is window-aware when the case has a window ([Of_window]) and
+    uses the TOWER trend lifetime otherwise; HEEB runs in [`Direct]
+    mode over the TOWER predictors. *)
+
+val policy : t -> Ssj_core.Policy.join
+(** Fresh policy instance for the case's recipe.  Raises
+    [Invalid_argument] on a name outside {!policy_names}. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {2 Repro files}
+
+    One flat JSON object per file, written and parsed by hand exactly
+    like {!Ssj_engine.Checkpoint}'s records (the repo carries no JSON
+    dependency).  [check] and [detail] strings are sanitised of quotes
+    and newlines on write. *)
+
+val schema_version : int
+
+val find_marker : string -> string -> int option
+(** [find_marker text marker] is the index just past the first
+    occurrence of [marker] in [text] — the substring-scan primitive the
+    repro parser is built on (the repo carries no JSON library), shared
+    with the golden artifact cross-check. *)
+
+val save : check:string -> detail:string -> t -> filename:string -> unit
+
+type repro = { case : t; check : string; detail : string }
+
+val load : filename:string -> (repro, string) result
+(** Rejects files without an [ssj_repro_schema] field, files declaring
+    a newer schema, and length-mismatched value arrays. *)

@@ -1,0 +1,49 @@
+(** One registered conformance check: an oracle pair, a metamorphic
+    law, or a golden digest. *)
+
+type outcome =
+  | Pass of { cases : int; note : string }
+  | Fail of { detail : string; case : Case.t option }
+      (** [case] is present when the failure is a replayable
+          (trace, capacity, policy) triple the shrinker can minimise *)
+
+type kind = Oracle | Law | Golden
+
+val kind_to_string : kind -> string
+
+type t = {
+  name : string;  (** e.g. ["oracle:join-sim/indexed-vs-listscan"] *)
+  kind : kind;
+  fast : string;  (** what is being checked (the optimised path) *)
+  reference : string;  (** what it is checked against *)
+  run : seed:int -> count:int -> outcome;
+      (** sweep [count] generated cases from [seed]; first violation
+          wins *)
+  replay : (Case.t -> string option) option;
+      (** re-evaluate a single case — [Some detail] means it violates.
+          Present exactly when failures carry a case; doubles as the
+          shrinker's predicate and the [--replay] entry point. *)
+}
+
+val make :
+  name:string ->
+  kind:kind ->
+  fast:string ->
+  reference:string ->
+  ?replay:(Case.t -> string option) ->
+  (seed:int -> count:int -> outcome) ->
+  t
+
+val of_violation :
+  name:string ->
+  kind:kind ->
+  fast:string ->
+  reference:string ->
+  gen:(seed:int -> int -> Case.t) ->
+  (Case.t -> string option) ->
+  t
+(** The common shape: generate case [i] of [seed], evaluate the
+    violation function on each, fail on the first [Some].  Exceptions
+    raised by the violation function (e.g. a selection failing
+    validation) are caught and reported as violations of that case —
+    in both [run] and [replay]. *)

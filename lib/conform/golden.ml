@@ -1,0 +1,300 @@
+open Ssj_prob
+open Ssj_stream
+open Ssj_engine
+open Ssj_workload
+
+(* Golden digests: the tracked fig8 (capacity-25) and fig13 series,
+   recomputed from scratch and compared against hex-float expectations
+   bit-for-bit.  Any drift is then attributed to a *named* oracle pair
+   by the rest of the registry — the digest says "something moved", the
+   oracles say what. *)
+
+type digest = { key : string; hex : string }
+
+let hex v = Printf.sprintf "%h" v
+
+(* Canonical tracked-sweep scale (bench/main.ml's run_sweep on the
+   shared TOWER traces). *)
+let canonical_runs = 50
+let canonical_length = 5000
+let sweep_capacity = 25
+
+let fig8_digests ~runs ~length () =
+  let tower = Config.tower () in
+  let traces =
+    Array.init runs (fun i ->
+        let r, s = Config.predictors tower in
+        Trace.generate ~r ~s ~rng:(Rng.create (42 + (1009 * i))) ~length)
+  in
+  let setup =
+    {
+      Runner.capacity = sweep_capacity;
+      warmup = Runner.default_warmup ~capacity:sweep_capacity;
+      window = None;
+    }
+  in
+  let summaries =
+    Runner.compare_joining ~setup ~traces
+      ~policies:(Factory.trend_policies tower ~seed:42 ())
+      ~include_opt:false ()
+  in
+  List.concat_map
+    (fun s ->
+      [
+        {
+          key = Printf.sprintf "fig8/cap%d/%s/mean" sweep_capacity s.Runner.label;
+          hex = hex s.Runner.mean;
+        };
+        {
+          key =
+            Printf.sprintf "fig8/cap%d/%s/stddev" sweep_capacity s.Runner.label;
+          hex = hex s.Runner.stddev;
+        };
+      ])
+    summaries
+
+let fig13_digests () =
+  let data = Experiments.fig13_data Experiments.default in
+  List.concat_map
+    (fun (memory, summaries) ->
+      List.map
+        (fun s ->
+          {
+            key = Printf.sprintf "fig13/m%d/%s/mean" memory s.Runner.label;
+            hex = hex s.Runner.mean;
+          })
+        summaries)
+    data.Experiments.rows
+
+(* --- expected values -------------------------------------------------
+
+   Regenerate with `sjoin check --print-golden` after an *intentional*
+   numeric change; the 4-decimal roundings must keep matching the
+   tracked BENCH_joining.json. *)
+
+let expected_fig8 =
+  [
+    { key = "fig8/cap25/RAND/mean"; hex = "0x1.fc470a3d70a3dp+11" };
+    { key = "fig8/cap25/RAND/stddev"; hex = "0x1.67d7db9e8cf2ap+5" };
+    { key = "fig8/cap25/PROB/mean"; hex = "0x1.015e666666666p+12" };
+    { key = "fig8/cap25/PROB/stddev"; hex = "0x1.71e5fca829bcap+5" };
+    { key = "fig8/cap25/LIFE/mean"; hex = "0x1.015d70a3d70a4p+12" };
+    { key = "fig8/cap25/LIFE/stddev"; hex = "0x1.71b542c8a6p+5" };
+    { key = "fig8/cap25/HEEB/mean"; hex = "0x1.01b1eb851eb85p+12" };
+    { key = "fig8/cap25/HEEB/stddev"; hex = "0x1.762164df4cadbp+5" };
+  ]
+
+let expected_fig13 =
+  [
+    { key = "fig13/m10/LFD/mean"; hex = "0x1.544p+11" };
+    { key = "fig13/m10/RAND/mean"; hex = "0x1.ae8p+11" };
+    { key = "fig13/m10/LRU/mean"; hex = "0x1.b08p+11" };
+    { key = "fig13/m10/PROB(LFU)/mean"; hex = "0x1.ab6p+11" };
+    { key = "fig13/m10/HEEB/mean"; hex = "0x1.aaep+11" };
+    { key = "fig13/m25/LFD/mean"; hex = "0x1.104p+11" };
+    { key = "fig13/m25/RAND/mean"; hex = "0x1.93ap+11" };
+    { key = "fig13/m25/LRU/mean"; hex = "0x1.8f4p+11" };
+    { key = "fig13/m25/PROB(LFU)/mean"; hex = "0x1.838p+11" };
+    { key = "fig13/m25/HEEB/mean"; hex = "0x1.82cp+11" };
+    { key = "fig13/m50/LFD/mean"; hex = "0x1.98cp+10" };
+    { key = "fig13/m50/RAND/mean"; hex = "0x1.6p+11" };
+    { key = "fig13/m50/LRU/mean"; hex = "0x1.62p+11" };
+    { key = "fig13/m50/PROB(LFU)/mean"; hex = "0x1.476p+11" };
+    { key = "fig13/m50/HEEB/mean"; hex = "0x1.3aep+11" };
+    { key = "fig13/m100/LFD/mean"; hex = "0x1.f2p+9" };
+    { key = "fig13/m100/RAND/mean"; hex = "0x1.096p+11" };
+    { key = "fig13/m100/LRU/mean"; hex = "0x1.05p+11" };
+    { key = "fig13/m100/PROB(LFU)/mean"; hex = "0x1.b98p+10" };
+    { key = "fig13/m100/HEEB/mean"; hex = "0x1.89p+10" };
+    { key = "fig13/m200/LFD/mean"; hex = "0x1.b7p+8" };
+    { key = "fig13/m200/RAND/mean"; hex = "0x1.f28p+9" };
+    { key = "fig13/m200/LRU/mean"; hex = "0x1.a4p+9" };
+    { key = "fig13/m200/PROB(LFU)/mean"; hex = "0x1.3d8p+9" };
+    { key = "fig13/m200/HEEB/mean"; hex = "0x1.18p+9" };
+    { key = "fig13/m300/LFD/mean"; hex = "0x1.49p+8" };
+    { key = "fig13/m300/RAND/mean"; hex = "0x1.81p+8" };
+    { key = "fig13/m300/LRU/mean"; hex = "0x1.57p+8" };
+    { key = "fig13/m300/PROB(LFU)/mean"; hex = "0x1.57p+8" };
+    { key = "fig13/m300/HEEB/mean"; hex = "0x1.4fp+8" };
+  ]
+
+let print_digests out digests =
+  List.iter
+    (fun d ->
+      Format.fprintf out "    { key = %S; hex = %S };@." d.key d.hex)
+    digests
+
+(* --- comparison ------------------------------------------------------ *)
+
+let compare_digests ~what ~expected actual =
+  if expected = [] then
+    Check.Fail
+      {
+        detail =
+          Printf.sprintf
+            "%s: no expected digests recorded (regenerate with `sjoin check \
+             --print-golden`)"
+            what;
+        case = None;
+      }
+  else begin
+    let mismatch = ref None in
+    List.iter
+      (fun e ->
+        if !mismatch = None then
+          match List.find_opt (fun a -> a.key = e.key) actual with
+          | None ->
+            mismatch := Some (Printf.sprintf "%s: key %s not recomputed" what e.key)
+          | Some a when a.hex <> e.hex ->
+            mismatch :=
+              Some
+                (Printf.sprintf "%s: %s drifted — expected %s, got %s" what
+                   e.key e.hex a.hex)
+          | Some _ -> ())
+      expected;
+    (if !mismatch = None && List.length actual <> List.length expected then
+       mismatch :=
+         Some
+           (Printf.sprintf "%s: %d digests recomputed, %d expected" what
+              (List.length actual) (List.length expected)));
+    match !mismatch with
+    | None ->
+      Check.Pass
+        {
+          cases = List.length expected;
+          note = "hex digests match bit-for-bit";
+        }
+    | Some detail -> Check.Fail { detail; case = None }
+  end
+
+(* --- artifact cross-check -------------------------------------------- *)
+
+(* The tracked BENCH_joining.json rounds the sweep means to 4 decimals;
+   the digest values must round to exactly those strings, tying the
+   golden hex floats to the published artifact.  Substring scan of the
+   "sweep" block only (the legacy and robustness blocks also carry
+   policy arrays). *)
+let artifact_means ~filename =
+  match open_in filename with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let n = in_channel_length ic in
+        let text = really_input_string ic n in
+        let section text start stop =
+          match (Case.find_marker text start, Case.find_marker text stop) with
+          | Some a, Some b when a < b -> Some (String.sub text a (b - a))
+          | _ -> None
+        in
+        match section text "\"sweep\"" "\"legacy_sweep\"" with
+        | None -> Error "no sweep block before legacy_sweep"
+        | Some block ->
+          let rec collect acc text =
+            match Case.find_marker text "{\"name\": \"" with
+            | None -> List.rev acc
+            | Some start -> (
+              let rest =
+                String.sub text start (String.length text - start)
+              in
+              match
+                (String.index_opt rest '"', Case.find_marker rest "\"mean\":")
+              with
+              | Some q, Some m -> (
+                let name = String.sub rest 0 q in
+                let tail = String.sub rest m (String.length rest - m) in
+                let stop = ref 0 in
+                while
+                  !stop < String.length tail
+                  && (let c = tail.[!stop] in
+                      c = ' ' || c = '-' || c = '.' || (c >= '0' && c <= '9'))
+                do
+                  incr stop
+                done;
+                match
+                  float_of_string_opt (String.trim (String.sub tail 0 !stop))
+                with
+                | Some mean -> collect ((name, mean) :: acc) tail
+                | None -> List.rev acc)
+              | _ -> List.rev acc)
+          in
+          Ok (collect [] block))
+
+let check_artifact ~filename digests =
+  match artifact_means ~filename with
+  | Error msg ->
+    Check.Fail
+      { detail = Printf.sprintf "%s: %s" filename msg; case = None }
+  | Ok [] ->
+    Check.Fail
+      {
+        detail = Printf.sprintf "%s: no sweep policies parsed" filename;
+        case = None;
+      }
+  | Ok means ->
+    let mismatch = ref None in
+    List.iter
+      (fun (name, mean) ->
+        if !mismatch = None then
+          let key =
+            Printf.sprintf "fig8/cap%d/%s/mean" sweep_capacity name
+          in
+          match List.find_opt (fun d -> d.key = key) digests with
+          | None ->
+            mismatch :=
+              Some (Printf.sprintf "artifact policy %s has no digest" name)
+          | Some d ->
+            let v = float_of_string d.hex in
+            if Printf.sprintf "%.4f" v <> Printf.sprintf "%.4f" mean then
+              mismatch :=
+                Some
+                  (Printf.sprintf
+                     "artifact %s mean %.4f <> digest %s (%.4f)" name mean
+                     d.hex v))
+      means;
+    (match !mismatch with
+    | None ->
+      Check.Pass
+        {
+          cases = List.length means;
+          note = "artifact 4-decimal means match the digests";
+        }
+    | Some detail -> Check.Fail { detail; case = None })
+
+(* --- registered checks ----------------------------------------------- *)
+
+let fig8_check ?artifact () =
+  Check.make ~name:"golden:fig8-cap25-sweep" ~kind:Check.Golden
+    ~fast:"tracked fig8 sweep recomputed (TOWER, 50x5000, capacity 25)"
+    ~reference:"recorded hex-float digests (and BENCH_joining.json roundings)"
+    (fun ~seed:_ ~count:_ ->
+      let digests =
+        fig8_digests ~runs:canonical_runs ~length:canonical_length ()
+      in
+      match
+        compare_digests ~what:"fig8" ~expected:expected_fig8 digests
+      with
+      | Check.Fail _ as f -> f
+      | Check.Pass _ as p -> (
+        match artifact with
+        | None -> p
+        | Some filename -> (
+          match check_artifact ~filename digests with
+          | Check.Pass { cases; _ } ->
+            Check.Pass
+              {
+                cases = List.length expected_fig8 + cases;
+                note = "digests and artifact roundings match";
+              }
+          | Check.Fail _ as f -> f)))
+
+let fig13_check () =
+  Check.make ~name:"golden:fig13-real-series" ~kind:Check.Golden
+    ~fast:"tracked fig13 series recomputed (REAL, 3650 days, 6 memory sizes)"
+    ~reference:"recorded hex-float digests"
+    (fun ~seed:_ ~count:_ ->
+      compare_digests ~what:"fig13" ~expected:expected_fig13
+        (fig13_digests ()))
+
+let checks ?artifact () = [ fig8_check ?artifact (); fig13_check () ]

@@ -1,0 +1,44 @@
+(** Golden hex-float digests of the tracked figures.
+
+    The fig8 capacity-25 sweep (the tracked BENCH_joining.json series)
+    and the fig13 REAL caching series are recomputed from scratch and
+    compared bit-for-bit — [Printf "%h"] — against recorded digests.
+    The digests answer "did any number move at all"; the oracle pairs in
+    {!Oracles} then attribute the movement.  Regenerate the tables with
+    [sjoin check --print-golden] after an intentional numeric change. *)
+
+type digest = { key : string; hex : string }
+
+val canonical_runs : int
+val canonical_length : int
+val sweep_capacity : int
+
+val fig8_digests : runs:int -> length:int -> unit -> digest list
+(** Recompute the tracked sweep (TOWER traces seeded [42 + 1009 i],
+    capacity 25, default warm-up, trend policies, no OPT) and digest
+    each summary's mean and stddev. *)
+
+val fig13_digests : unit -> digest list
+(** Recompute the Figure 13 series via {!Ssj_workload.Experiments.fig13_data}
+    at default options and digest each per-memory-size mean. *)
+
+val expected_fig8 : digest list
+val expected_fig13 : digest list
+
+val print_digests : Format.formatter -> digest list -> unit
+(** Print digests as OCaml record literals, ready to paste into the
+    expected tables. *)
+
+val compare_digests :
+  what:string -> expected:digest list -> digest list -> Check.outcome
+
+val check_artifact : filename:string -> digest list -> Check.outcome
+(** Cross-check the recomputed fig8 digests against the 4-decimal
+    roundings stored in the tracked artifact (BENCH_joining.json's
+    ["sweep"] block). *)
+
+val checks : ?artifact:string -> unit -> Check.t list
+(** [golden:fig8-cap25-sweep] (with the artifact cross-check when
+    [artifact] names the tracked BENCH_joining.json) and
+    [golden:fig13-real-series].  Both are expensive — excluded from the
+    quick test gate, run by [ssj-check --all] / the conformance alias. *)

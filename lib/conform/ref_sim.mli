@@ -1,0 +1,27 @@
+(** Naive list-scan joining simulator — the differential oracle for
+    {!Ssj_engine.Join_sim}.
+
+    Replays a trace with the same semantics as the engine (arrivals
+    join the cache decided at the previous step, same-time R–S matches
+    excluded, window and band as given) but with none of its machinery:
+    the cache is the policy's selection list, match counting is a plain
+    fold per arrival, and every selection is checked with
+    {!Ssj_core.Policy.validate_join_selection} (raising [Failure] on a
+    violation).  Always takes the policy's [select] path — never
+    [fast]. *)
+
+type result = { total_results : int; counted_results : int }
+
+val run :
+  trace:Ssj_stream.Trace.t ->
+  policy:Ssj_core.Policy.join ->
+  capacity:int ->
+  ?warmup:int ->
+  ?window:Ssj_stream.Window.t ->
+  ?band:int ->
+  unit ->
+  result
+
+val run_case : Case.t -> result
+(** {!run} with the case's trace, fresh policy, warm-up, window and
+    band. *)

@@ -20,6 +20,24 @@ let walk_joining_curve ~step ~drift ~l ~lo ~hi =
   done;
   Interp.Curve.create ~x0:(float_of_int lo) ~dx:1.0 h
 
+(* Exact single-point h1 evaluation, kept deliberately independent of
+   the curve path above: naive pairwise convolutions (no shared table,
+   no FFT) and a per-delta point lookup instead of the banded
+   accumulation.  O(horizon · support²) — the conformance suite's
+   oracle, not a production path. *)
+let walk_joining_h ~step ~drift ~l ~d =
+  let horizon = l.Lfun.horizon in
+  if horizon >= max_int / 8 then
+    invalid_arg "Precompute.walk_joining_h: L has no finite horizon";
+  let acc = ref 0.0 in
+  let q = ref (Pmf.point 0) in
+  for delta = 1 to horizon do
+    q := Convolve.pair_naive !q step;
+    let w = l.Lfun.l delta in
+    if w > 0.0 then acc := !acc +. (w *. Pmf.prob !q (d - (drift * delta)))
+  done;
+  !acc
+
 let caching_columns_batch ~kernel ~targets ~ls ?(horizon = 4096)
     ?(stop_eps = 1e-9) () =
   let dk = Markov.Dense.of_kernel kernel in

@@ -23,6 +23,15 @@ val walk_joining_curve :
     convolution and [d = v_x − x^partner_{t0}].  Sampled on integers
     [lo..hi]. *)
 
+val walk_joining_h :
+  step:Ssj_prob.Pmf.t -> drift:int -> l:Lfun.t -> d:int -> float
+(** Exact single-point evaluation of the {!walk_joining_curve} sum at
+    integer offset [d], computed through naive pairwise convolutions
+    and per-delta point lookups — no shared convolution table, no FFT,
+    no banded accumulation.  The conformance suite's independent
+    reference for the [h1] fast path; agreement is up to summation
+    order (compare with a small tolerance, not bit-for-bit). *)
+
 val caching_columns :
   kernel:Ssj_model.Markov.kernel ->
   target:int ->

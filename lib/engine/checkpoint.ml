@@ -4,6 +4,30 @@
    runner-generated (labels, integers, '|' separators — sanitised of
    quotes and newlines on write), hex floats are [%h] output. *)
 
+(* Header schema: the first non-empty line of a checkpoint written by
+   this binary is {"ssj_checkpoint_schema": N}.  Headerless files are the
+   version-1 format (every pre-header release) and load unchanged; a
+   header claiming a NEWER version than this binary understands is
+   rejected with a typed error — silently reading records whose meaning
+   may have changed would poison a resumed sweep bit-for-bit. *)
+let schema_version = 2
+
+type error = Schema_newer of { path : string; found : int; supported : int }
+
+exception Rejected of error
+
+let error_to_string = function
+  | Schema_newer { path; found; supported } ->
+    Printf.sprintf
+      "checkpoint %s has schema version %d, newer than the supported %d; \
+       re-run with a newer binary or start a fresh checkpoint file"
+      path found supported
+
+let () =
+  Printexc.register_printer (function
+    | Rejected e -> Some ("Checkpoint.Rejected: " ^ error_to_string e)
+    | _ -> None)
+
 type t = {
   path : string;
   table : (string, float) Hashtbl.t;
@@ -41,27 +65,71 @@ let parse_line line =
     | None -> None)
   | _ -> None
 
+(* Extract the integer value of ["field": 123] from [line], if any. *)
+let int_field line field =
+  let marker = Printf.sprintf "\"%s\":" field in
+  let mlen = String.length marker in
+  let llen = String.length line in
+  let rec find i =
+    if i + mlen > llen then None
+    else if String.sub line i mlen = marker then Some (i + mlen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    let start = ref start in
+    while !start < llen && line.[!start] = ' ' do incr start done;
+    let stop = ref !start in
+    if !stop < llen && line.[!stop] = '-' then incr stop;
+    while !stop < llen && line.[!stop] >= '0' && line.[!stop] <= '9' do
+      incr stop
+    done;
+    int_of_string_opt (String.sub line !start (!stop - !start))
+
+let header_schema line = int_field line "ssj_checkpoint_schema"
+
+(* Returns [Error] when the file's header declares a newer schema;
+   otherwise fills the table from the record lines. *)
 let load_existing t =
   match open_in t.path with
-  | exception Sys_error _ -> ()
+  | exception Sys_error _ -> Ok ()
   | ic ->
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () ->
-        try
-          while true do
-            let line = input_line ic in
-            if String.trim line <> "" then begin
-              match parse_line line with
-              | Some (key, v) ->
-                Hashtbl.replace t.table key v;
-                t.loaded <- t.loaded + 1
-              | None -> t.corrupt <- t.corrupt + 1
-            end
-          done
-        with End_of_file -> ())
+        let first_content = ref true in
+        let rejected = ref None in
+        (try
+           while !rejected = None do
+             let line = input_line ic in
+             if String.trim line <> "" then begin
+               let is_header = !first_content && header_schema line <> None in
+               (if is_header then
+                  match header_schema line with
+                  | Some v when v > schema_version ->
+                    rejected :=
+                      Some
+                        (Schema_newer
+                           {
+                             path = t.path;
+                             found = v;
+                             supported = schema_version;
+                           })
+                  | Some _ | None -> ()
+                else
+                  match parse_line line with
+                  | Some (key, v) ->
+                    Hashtbl.replace t.table key v;
+                    t.loaded <- t.loaded + 1
+                  | None -> t.corrupt <- t.corrupt + 1);
+               first_content := false
+             end
+           done
+         with End_of_file -> ());
+        match !rejected with Some e -> Error e | None -> Ok ())
 
-let create ~path =
+let create_result ~path =
   let t =
     {
       path;
@@ -72,8 +140,10 @@ let create ~path =
       mu = Mutex.create ();
     }
   in
-  load_existing t;
-  t
+  match load_existing t with Ok () -> Ok t | Error e -> Error e
+
+let create ~path =
+  match create_result ~path with Ok t -> t | Error e -> raise (Rejected e)
 
 let from_env () =
   match Sys.getenv_opt "SSJ_CHECKPOINT" with
@@ -106,13 +176,24 @@ let ends_mid_line path =
         (seek_in ic (n - 1);
          input_char ic <> '\n'))
 
+let file_size path =
+  match open_in_bin path with
+  | exception Sys_error _ -> 0
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> in_channel_length ic)
+
 let channel t =
   match t.oc with
   | Some oc -> oc
   | None ->
     let heal = ends_mid_line t.path in
+    let fresh = file_size t.path = 0 in
     let oc = open_out_gen [ Open_append; Open_creat ] 0o644 t.path in
     if heal then output_char oc '\n';
+    if fresh then
+      Printf.fprintf oc "{\"ssj_checkpoint_schema\": %d}\n" schema_version;
     t.oc <- Some oc;
     oc
 

@@ -21,12 +21,32 @@
 
 type t
 
-val create : path:string -> t
+val schema_version : int
+(** The header version this binary writes (as
+    [{"ssj_checkpoint_schema": N}], the first line of a fresh file) and
+    the newest it accepts on load.  Headerless files are the version-1
+    format and always load. *)
+
+type error = Schema_newer of { path : string; found : int; supported : int }
+(** The file's header declares a schema newer than {!schema_version}:
+    its records may mean something this binary does not understand, so
+    loading refuses rather than resuming a sweep from poisoned state. *)
+
+exception Rejected of error
+
+val error_to_string : error -> string
+
+val create_result : path:string -> (t, error) result
 (** Load existing records from [path] (if any) and open it for
-    appending.  Corrupt lines are skipped, never fatal. *)
+    appending.  Corrupt lines are skipped, never fatal; a header with a
+    newer schema version is the one typed, fatal condition. *)
+
+val create : path:string -> t
+(** [create_result], raising {!Rejected} on a newer-schema file. *)
 
 val from_env : unit -> t option
-(** [Some (create ~path)] when [SSJ_CHECKPOINT] is set and non-empty. *)
+(** [Some (create ~path)] when [SSJ_CHECKPOINT] is set and non-empty.
+    Raises {!Rejected} as {!create} does. *)
 
 val path : t -> string
 

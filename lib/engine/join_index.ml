@@ -31,6 +31,17 @@ let create ?window ?(band = 0) ~length () =
 
 let counts t = function Tuple.R -> t.counts_r | Tuple.S -> t.counts_s
 
+(* Conformance fault hook: shifts the band probe window by a constant,
+   turning the O(band) counting path into an off-by-[skew] fast-path bug
+   on demand.  Zero (the default) is the identity; only the conformance
+   suite and `sjoin check --inject` ever set it. *)
+let probe_skew = ref 0
+
+module Testhook = struct
+  let set_band_probe_skew n = probe_skew := n
+  let band_probe_skew () = !probe_skew
+end
+
 let grow t uid =
   if uid < 0 then invalid_arg "Join_index: negative uid";
   let cap = Array.length t.state in
@@ -59,8 +70,9 @@ let matches t ~now (arrival : Tuple.t) =
   let tbl = counts t (Tuple.partner arrival.side) in
   if t.band = 0 then Ssj_prob.Itab.find_default tbl arrival.value 0
   else begin
+    let skew = !probe_skew in
     let acc = ref 0 in
-    for v = arrival.value - t.band to arrival.value + t.band do
+    for v = arrival.value - t.band + skew to arrival.value + t.band + skew do
       acc := !acc + Ssj_prob.Itab.find_default tbl v 0
     done;
     !acc

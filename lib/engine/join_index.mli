@@ -59,3 +59,17 @@ val remove_id : t -> uid:int -> value:int -> unit
 
 val remove : t -> Ssj_stream.Tuple.t -> unit
 (** [remove_id] on a tuple's fields. *)
+
+(** {2 Conformance fault hook — test use only}
+
+    The conformance suite ({!Ssj_conform}) must demonstrate that a real
+    fast-path bug is caught by the differential oracles and shrunk to a
+    tiny repro.  [set_band_probe_skew n] shifts every band probe window
+    by [n] values — an injectable off-by-one in the O(band) counting
+    path.  The hook is global (affects every index created afterwards
+    and every live one), so callers must restore 0 when done; nothing in
+    the library ever sets it. *)
+module Testhook : sig
+  val set_band_probe_skew : int -> unit
+  val band_probe_skew : unit -> int
+end

@@ -123,6 +123,41 @@ let cancel_cycles r =
   in
   loop ()
 
+(* Seeded random layered DAGs for differential solver checks.  The
+   generator carries its own splitmix64 so the oracle library stays
+   dependency-free and a (seed, index) pair names a graph forever.
+   Arcs only go to strictly higher-numbered nodes, so negative costs
+   cannot form a negative cycle in the *input* (only in residuals,
+   which is the point of the exercise). *)
+let random_graph ~seed ~index =
+  let state = ref (Int64.logxor (Int64.of_int seed)
+                     (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (index + 1))))
+  in
+  let next () =
+    state := Int64.add !state 0x9E3779B97F4A7C15L;
+    let z = !state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+              0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+              0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+  in
+  let int_below n = Int64.to_int (Int64.rem (Int64.logand (next ()) Int64.max_int) (Int64.of_int n)) in
+  let nodes = 3 + int_below 5 in
+  let narcs = 2 + int_below 13 in
+  let arcs = ref [] in
+  for _ = 1 to narcs do
+    let a = int_below nodes and b = int_below nodes in
+    if a <> b then begin
+      let src = min a b and dst = max a b in
+      let cap = int_below 4 in
+      let cost = float_of_int (int_below 17 - 8) in
+      arcs := (src, dst, cap, cost) :: !arcs
+    end
+  done;
+  let target = 1 + int_below 4 in
+  ({ nodes; arcs = Array.of_list !arcs }, target)
+
 let min_cost_flow g ~source ~sink ~target =
   let r = residual_of_graph g in
   let flow = ref 0 in

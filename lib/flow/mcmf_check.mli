@@ -12,3 +12,11 @@ type graph = {
 
 val min_cost_flow : graph -> source:int -> sink:int -> target:int -> int * float
 (** Returns [(flow_achieved, cost)]. *)
+
+val random_graph : seed:int -> index:int -> graph * int
+(** Deterministic small layered DAG number [index] of stream [seed],
+    paired with a flow target.  Arcs run low → high node only, so the
+    input graph is acyclic (negative arc costs are safe); source is 0,
+    sink is [nodes - 1].  Self-seeded (splitmix64) so the differential
+    conformance checks can name a failing graph by [(seed, index)]
+    alone. *)

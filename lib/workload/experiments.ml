@@ -291,11 +291,56 @@ let fig12 ?(out = std) opts =
 
 (* --- Figure 13 ------------------------------------------------------ *)
 
-let fig13 ?(out = std) opts =
+type fig13_data = {
+  fitted : Ar1.params;
+  reference : int array;
+  labels : string list;
+  rows : (int * Runner.summary list) list;
+}
+
+(* The Figure 13 computation without the printing, exposed so the
+   conformance golden digests ({!Ssj_conform.Golden}) replay exactly
+   the published series. *)
+let fig13_data opts =
   let rng = Rng.create opts.seed in
   let series = Real.synthetic_ar1 ~rng ~days:3650 () in
   let reference = Real.to_bins series in
   let fitted = Fit.ar1_of_ints reference in
+  let sizes = opts.real_sizes in
+  let ls =
+    Array.of_list
+      (List.map (fun c -> Lfun.exp_ ~alpha:(float_of_int (max 2 c))) sizes)
+  in
+  let lo, hi = Factory.real_surface_bounds fitted in
+  let surfaces =
+    Precompute.ar1_caching_surfaces fitted ~ls ~vx_lo:lo ~vx_hi:hi ~x0_lo:lo
+      ~x0_hi:hi ~nv:5 ~nx:5 ()
+  in
+  let rows =
+    List.mapi
+      (fun i capacity ->
+        let policies =
+          [
+            ("RAND", fun () -> Classic.rand_cache ~rng:(Rng.create opts.seed));
+            ("LRU", fun () -> Classic.lru ());
+            ("PROB(LFU)", fun () -> Classic.lfu ());
+            ("HEEB", Factory.real_heeb_of_surface surfaces.(i));
+          ]
+        in
+        ( capacity,
+          Runner.compare_caching ~capacity ~warmup:0
+            ~references:[| reference |] ~policies () ))
+      sizes
+  in
+  let labels =
+    match rows with
+    | (_, summaries) :: _ -> List.map (fun s -> s.Runner.label) summaries
+    | [] -> []
+  in
+  { fitted; reference; labels; rows }
+
+let fig13 ?(out = std) opts =
+  let { fitted; reference; labels; rows } = fig13_data opts in
   Format.fprintf out
     "@.[fig13] REAL caching: synthetic Melbourne temperatures (3650 days); \
      our MLE fit (0.1C bins): phi1=%.3f phi0=%.2f sigma=%.2f (paper, in C: \
@@ -308,36 +353,7 @@ let fig13 ?(out = std) opts =
     (Fit.aic float_series ~order:1)
     (Fit.aic float_series ~order:2)
     (Fit.aic float_series ~order:3);
-  let sizes = opts.real_sizes in
-  let ls =
-    Array.of_list
-      (List.map (fun c -> Lfun.exp_ ~alpha:(float_of_int (max 2 c))) sizes)
-  in
-  let lo, hi = Factory.real_surface_bounds fitted in
-  let surfaces =
-    Precompute.ar1_caching_surfaces fitted ~ls ~vx_lo:lo ~vx_hi:hi ~x0_lo:lo
-      ~x0_hi:hi ~nv:5 ~nx:5 ()
-  in
-  let labels = ref [] in
-  let results =
-    List.mapi
-      (fun i capacity ->
-        let policies =
-          [
-            ("RAND", fun () -> Classic.rand_cache ~rng:(Rng.create opts.seed));
-            ("LRU", fun () -> Classic.lru ());
-            ("PROB(LFU)", fun () -> Classic.lfu ());
-            ("HEEB", Factory.real_heeb_of_surface surfaces.(i));
-          ]
-        in
-        let summaries =
-          Runner.compare_caching ~capacity ~warmup:0
-            ~references:[| reference |] ~policies ()
-        in
-        if !labels = [] then labels := List.map (fun s -> s.Runner.label) summaries;
-        summaries)
-      sizes
-  in
+  let results = List.map snd rows in
   let columns =
     List.map
       (fun label ->
@@ -351,11 +367,11 @@ let fig13 ?(out = std) opts =
                  | Some s -> s.Runner.mean
                  | None -> Float.nan)
                results) ))
-      !labels
+      labels
   in
   Table.series ~out ~title:"fig13: REAL number of misses vs memory size"
     ~x_label:"memory"
-    ~xs:(List.map string_of_int sizes)
+    ~xs:(List.map (fun (c, _) -> string_of_int c) rows)
     ~columns ()
 
 (* --- Figures 14 / 17 / 18 ------------------------------------------- *)

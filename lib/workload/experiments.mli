@@ -49,6 +49,19 @@ val fig12 : ?out:Format.formatter -> opts -> unit
 val fig13 : ?out:Format.formatter -> opts -> unit
 (** REAL caching misses vs memory size: LFD, RAND, LRU, PROB(LFU), HEEB. *)
 
+type fig13_data = {
+  fitted : Ssj_model.Ar1.params;  (** MLE fit of the binned reference *)
+  reference : int array;  (** the 0.1 °C-binned temperature stream *)
+  labels : string list;  (** summary labels, LFD included *)
+  rows : (int * Ssj_engine.Runner.summary list) list;
+      (** one row per memory size of [opts.real_sizes] *)
+}
+
+val fig13_data : opts -> fig13_data
+(** The Figure 13 computation without the printing — what {!fig13}
+    renders, and what the conformance golden digests replay.  Depends
+    only on [opts.seed] and [opts.real_sizes]. *)
+
 val fig14 : ?out:Format.formatter -> opts -> unit
 (** Fraction of cache taken by R tuples under HEEB for the lag / variance
     variants of the TOWER-SYM configuration. *)

@@ -33,5 +33,6 @@ let () =
       ("engine.fault", Test_fault.suite);
       ("engine.supervised", Test_supervised.suite);
       ("multi", Test_multi.suite);
+      ("conform", Test_conform.suite);
       ("workload", Test_workload.suite);
     ]

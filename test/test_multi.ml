@@ -144,6 +144,106 @@ let test_hub_stream_gets_more_cache () =
   in
   check_bool "hub stream over-represented" true (share > 0.34)
 
+(* --- properties for m >= 3 and degenerate reductions ------------------ *)
+
+(* Deterministic, query-independent selection: newest first among the
+   named streams.  Arrival and cache order are both newest-first, so the
+   multi and pairwise engines agree on the kept set. *)
+let keep_newest_multi streams_kept =
+  scripted (fun ~now:_ ~cached ~arrivals ~capacity ->
+      let candidates =
+        List.filter
+          (fun (t : Multi.tuple) -> List.mem t.Multi.stream streams_kept)
+          (arrivals @ cached)
+      in
+      List.filteri (fun i _ -> i < capacity) candidates)
+
+let keep_newest_pair =
+  Policy.make_join ~name:"NEWEST"
+    (fun ~now:_ ~cached ~arrivals ~capacity ->
+      List.filteri (fun i _ -> i < capacity) (arrivals @ cached))
+
+let run_pairwise ~r ~s ~capacity ~warmup =
+  (Ssj_engine.Join_sim.run
+     ~trace:(Ssj_stream.Trace.of_values ~r ~s)
+     ~policy:keep_newest_pair ~capacity ~warmup ~validate:true ())
+    .Ssj_engine.Join_sim
+    .total_results
+
+let test_three_stream_degenerate_pairwise () =
+  (* Query set {(0,1)} over m = 3 with a policy that never caches the
+     third stream reduces exactly to the two-stream engine. *)
+  let g = rng 23 in
+  let len = 400 and capacity = 4 and warmup = 50 in
+  let traces =
+    Array.init 3 (fun _ -> Array.init len (fun _ -> Rng.int g 9))
+  in
+  let multi =
+    Multi.run ~traces ~queries:[ (0, 1) ]
+      ~policy:(keep_newest_multi [ 0; 1 ])
+      ~capacity ~warmup ~validate:true ()
+  in
+  let pair_total = run_pairwise ~r:traces.(0) ~s:traces.(1) ~capacity ~warmup in
+  check_int "m=3 with one query = two-stream engine" pair_total
+    multi.Multi.total_results
+
+let test_four_stream_disjoint_pairs () =
+  (* Queries {(0,1), (2,3)} with capacity partitioned per pair decompose
+     into two independent two-stream engines. *)
+  let g = rng 37 in
+  let len = 300 and per_pair = 3 in
+  let traces =
+    Array.init 4 (fun _ -> Array.init len (fun _ -> Rng.int g 7))
+  in
+  let partitioned =
+    scripted (fun ~now:_ ~cached ~arrivals ~capacity:_ ->
+        let side streams =
+          List.filteri
+            (fun i _ -> i < per_pair)
+            (List.filter
+               (fun (t : Multi.tuple) -> List.mem t.Multi.stream streams)
+               (arrivals @ cached))
+        in
+        side [ 0; 1 ] @ side [ 2; 3 ])
+  in
+  let multi =
+    Multi.run ~traces
+      ~queries:[ (0, 1); (2, 3) ]
+      ~policy:partitioned ~capacity:(2 * per_pair) ~validate:true ()
+  in
+  let pair01 = run_pairwise ~r:traces.(0) ~s:traces.(1) ~capacity:per_pair ~warmup:0
+  and pair23 = run_pairwise ~r:traces.(2) ~s:traces.(3) ~capacity:per_pair ~warmup:0 in
+  check_int "disjoint pairs sum" (pair01 + pair23) multi.Multi.total_results
+
+let test_qcheck_query_additivity =
+  (* Under any query-independent policy the cache evolution is fixed, so
+     counting is additive over the query set — and hence monotone. *)
+  Helpers.qcheck ~count:80 "m=4 counting is additive over queries"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 4 25) (int_range 0 6))
+        (int_range 1 6))
+    (fun (vals, capacity) ->
+      let len = List.length vals in
+      let base = Array.of_list vals in
+      let traces =
+        Array.init 4 (fun k ->
+            Array.init len (fun t -> (base.(t) + (k * (t mod 3))) mod 7))
+      in
+      let run queries =
+        (Multi.run ~traces ~queries
+           ~policy:(keep_newest_multi [ 0; 1; 2; 3 ])
+           ~capacity ~validate:true ())
+          .Multi
+          .total_results
+      in
+      let qs = [ (0, 1); (2, 3); (1, 2) ] in
+      let whole = run qs in
+      let parts = List.fold_left (fun acc q -> acc + run [ q ]) 0 qs in
+      whole = parts
+      && run [ (0, 1) ] <= run [ (0, 1); (2, 3) ]
+      && run [ (0, 1); (2, 3) ] <= whole)
+
 let suite =
   [
     Alcotest.test_case "query validation" `Quick test_query_validation;
@@ -152,6 +252,11 @@ let suite =
       test_counting_respects_queries;
     Alcotest.test_case "degenerates to two streams" `Quick
       test_two_stream_degeneration;
+    Alcotest.test_case "m=3 single query = pairwise engine" `Quick
+      test_three_stream_degenerate_pairwise;
+    Alcotest.test_case "m=4 disjoint pairs decompose" `Quick
+      test_four_stream_disjoint_pairs;
+    test_qcheck_query_additivity;
     Alcotest.test_case "HEEB-multi beats baselines" `Slow
       test_heeb_beats_rand_three_streams;
     Alcotest.test_case "hub stream gets more cache" `Slow

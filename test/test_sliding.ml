@@ -80,6 +80,85 @@ let test_windowed_ecb_consistency () =
     (Sliding.stationary_score ~alpha:6.0 ~p:0.35 ~remaining_lifetime:8)
     h_direct
 
+(* --- QCheck: windowed semantics vs brute-force oracles ---------------- *)
+
+let test_qcheck_windowed_run =
+  (* Both engine paths (fast and validated list) under window semantics
+     against the naive full-rescan reference simulator. *)
+  qcheck ~count:120 "windowed runs match the brute-force oracle"
+    QCheck2.Gen.(
+      quad
+        (list_size (int_range 4 30)
+           (pair (int_range (-6) 6) (int_range (-6) 6)))
+        (int_range 1 5) (int_range 1 8) (int_range 0 2))
+    (fun (steps, capacity, width, band) ->
+      let r = Array.of_list (List.map fst steps)
+      and s = Array.of_list (List.map snd steps) in
+      let window = Window.create ~width in
+      let warmup = Array.length r / 3 in
+      let policies =
+        [
+          (fun () -> Baselines.prob ());
+          (fun () ->
+            Baselines.life ~lifetime:(Baselines.Of_window { width }) ());
+        ]
+      in
+      List.for_all
+        (fun fresh ->
+          let engine ~validate =
+            Ssj_engine.Join_sim.run
+              ~trace:(Trace.of_values ~r ~s)
+              ~policy:(fresh ()) ~capacity ~warmup ~window ~band ~validate ()
+          in
+          let fast = engine ~validate:false in
+          let listed = engine ~validate:true in
+          let oracle =
+            Ssj_conform.Ref_sim.run
+              ~trace:(Trace.of_values ~r ~s)
+              ~policy:(fresh ()) ~capacity ~warmup ~window ~band ()
+          in
+          fast.Ssj_engine.Join_sim.total_results
+          = oracle.Ssj_conform.Ref_sim.total_results
+          && fast.Ssj_engine.Join_sim.counted_results
+             = oracle.Ssj_conform.Ref_sim.counted_results
+          && listed.Ssj_engine.Join_sim.total_results
+             = oracle.Ssj_conform.Ref_sim.total_results
+          && listed.Ssj_engine.Join_sim.counted_results
+             = oracle.Ssj_conform.Ref_sim.counted_results)
+        policies)
+
+let test_qcheck_stationary_score =
+  qcheck ~count:200 "stationary score equals its truncated sum"
+    QCheck2.Gen.(
+      triple (float_range 1.0 20.0) (float_range 0.01 0.99) (int_range 0 60))
+    (fun (alpha, p, life) ->
+      let direct = ref 0.0 in
+      for d = 1 to life do
+        direct := !direct +. (p *. exp (-.float_of_int d /. alpha))
+      done;
+      abs_float
+        (!direct
+        -. Sliding.stationary_score ~alpha ~p ~remaining_lifetime:life)
+      < 1e-9)
+
+let test_qcheck_windowed_ecb =
+  (* The windowed ECB/HEEB score is the regular H evaluated with the
+     window-truncated L, at any remaining lifetime. *)
+  qcheck ~count:200 "windowed ECB equals H with windowed L"
+    QCheck2.Gen.(
+      triple (float_range 2.0 12.0) (float_range 0.05 0.95) (int_range 0 12))
+    (fun (alpha, p, remaining) ->
+      let dist = Pmf.of_assoc [ (4, p); (5, 1.0 -. p) ] in
+      let h =
+        Hvalue.joining
+          ~partner:(Stationary.create dist)
+          ~l:(Lfun.windowed (Lfun.exp_ ~alpha) ~remaining)
+          ~value:4
+      in
+      abs_float
+        (h -. Sliding.stationary_score ~alpha ~p ~remaining_lifetime:remaining)
+      < 1e-9)
+
 let suite =
   [
     Alcotest.test_case "Section 7 ranking" `Quick test_section7_ranking;
@@ -90,4 +169,7 @@ let suite =
       test_windowed_heeb_runs_under_window_semantics;
     Alcotest.test_case "windowed ECB/H consistency" `Quick
       test_windowed_ecb_consistency;
+    test_qcheck_windowed_run;
+    test_qcheck_stationary_score;
+    test_qcheck_windowed_ecb;
   ]

@@ -197,12 +197,22 @@ let test_checkpoint_resume () =
       Helpers.check_int "fresh checkpoint: no hits" 0
         first.Runner.checkpoint_hits;
       (* Simulate a killed sweep: keep 3 records, then a torn line. *)
-      let lines = read_lines path in
-      Helpers.check_int "all runs recorded" 6 (List.length lines);
+      let is_header l =
+        String.length l >= 24
+        && String.sub l 0 24 = "{\"ssj_checkpoint_schema\""
+      in
+      let header, records =
+        match read_lines path with
+        | h :: rest when is_header h -> (Some h, rest)
+        | rest -> (None, rest)
+      in
+      Helpers.check_bool "schema header present" true (header <> None);
+      Helpers.check_int "all runs recorded" 6 (List.length records);
       let oc = open_out path in
+      Option.iter (fun h -> Printf.fprintf oc "%s\n" h) header;
       List.iteri
         (fun i line -> if i < 3 then Printf.fprintf oc "%s\n" line)
-        lines;
+        records;
       output_string oc "{\"key\": \"|PROB|5\", \"hex\": \"0x1.f";
       close_out oc;
       let resumed_ckpt = Checkpoint.create ~path in
@@ -235,6 +245,67 @@ let test_checkpoint_resume () =
       Helpers.check_int "torn line still isolated" 1
         (Checkpoint.corrupt_lines final))
 
+let test_checkpoint_schema () =
+  let path = Filename.temp_file "ssj_ckpt_schema" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (* Fresh files carry the schema header; records load through it. *)
+      Sys.remove path;
+      let ckpt = Checkpoint.create ~path in
+      Checkpoint.record ckpt ~key:"a" 2.0;
+      Checkpoint.close ckpt;
+      (match read_lines path with
+      | header :: _ ->
+        Helpers.check_bool "header written first" true
+          (String.length header >= 24
+          && String.sub header 0 24 = "{\"ssj_checkpoint_schema\"")
+      | [] -> Alcotest.fail "empty checkpoint file");
+      let reloaded = Checkpoint.create ~path in
+      Helpers.check_int "record loaded through header" 1
+        (Checkpoint.loaded reloaded);
+      Helpers.check_int "header is not corrupt" 0
+        (Checkpoint.corrupt_lines reloaded);
+      Helpers.check_bool "value round-trips" true
+        (Checkpoint.find reloaded ~key:"a" = Some 2.0);
+      Checkpoint.close reloaded;
+      (* Legacy headerless files still load. *)
+      let oc = open_out path in
+      output_string oc "{\"key\": \"a\", \"hex\": \"0x1p+1\", \"value\": 2.0000}\n";
+      close_out oc;
+      let legacy = Checkpoint.create ~path in
+      Helpers.check_int "headerless v1 accepted" 1 (Checkpoint.loaded legacy);
+      Helpers.check_bool "legacy value parsed" true
+        (Checkpoint.find legacy ~key:"a" = Some 2.0);
+      Checkpoint.close legacy;
+      (* A newer-schema header is a typed rejection, not a Failure and
+         not silent corruption. *)
+      let oc = open_out path in
+      output_string oc "{\"ssj_checkpoint_schema\": 99}\n";
+      output_string oc "{\"key\": \"a\", \"hex\": \"0x1p+1\", \"value\": 2.0000}\n";
+      close_out oc;
+      (match Checkpoint.create_result ~path with
+      | Error (Checkpoint.Schema_newer { path = p; found; supported }) ->
+        Helpers.check_bool "path reported" true (p = path);
+        Helpers.check_int "found" 99 found;
+        Helpers.check_int "supported" Checkpoint.schema_version supported
+      | Ok _ -> Alcotest.fail "newer schema must be rejected");
+      (match Checkpoint.create ~path with
+      | exception Checkpoint.Rejected (Checkpoint.Schema_newer { found; _ })
+        ->
+        Helpers.check_int "create raises typed error" 99 found
+      | _ -> Alcotest.fail "create must raise Rejected");
+      (* Same-version header: accepted, records load. *)
+      let oc = open_out path in
+      Printf.fprintf oc "{\"ssj_checkpoint_schema\": %d}\n"
+        Checkpoint.schema_version;
+      output_string oc "{\"key\": \"a\", \"hex\": \"0x1p+1\", \"value\": 2.0000}\n";
+      close_out oc;
+      let same = Checkpoint.create ~path in
+      Helpers.check_int "same-version header accepted" 1
+        (Checkpoint.loaded same);
+      Checkpoint.close same)
+
 let test_supervision_from_env () =
   let sup = Runner.supervision_from_env () in
   (* In the test environment none of the variables are set. *)
@@ -257,6 +328,8 @@ let suite =
       test_step_budget;
     Alcotest.test_case "checkpoint truncation + resume bit-identity" `Quick
       test_checkpoint_resume;
+    Alcotest.test_case "checkpoint schema header + typed rejection" `Quick
+      test_checkpoint_schema;
     Alcotest.test_case "supervision_from_env defaults" `Quick
       test_supervision_from_env;
   ]
